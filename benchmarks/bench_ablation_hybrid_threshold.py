@@ -1,0 +1,79 @@
+"""Ablation — HYBRID's shared-item threshold (the paper fixes 16).
+
+Footnote 6 of the paper: "when two sources share fewer than 16 data
+items, INDEX conducts fewer computations than BOUND+ on average".  This
+ablation sweeps the cutoff to show the U-shape the fixed value sits in:
+0 (pure BOUND+) pays bound overhead on tiny pairs; infinity (pure INDEX)
+never terminates early on big ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import detect_hybrid
+from repro.eval import render_table
+from conftest import emit_report
+
+THRESHOLDS = (0, 4, 16, 64, 100_000)
+PROFILES = ("book_cs", "stock_1day")
+_rows: dict[str, list[list[object]]] = {}
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_threshold_sweep(benchmark, worlds, bench_params, profile):
+    world = worlds[profile]
+    dataset = world.dataset
+    # Calibrate probabilities/accuracies with a short copy-aware fusion
+    # warm-up: HYBRID always runs inside the loop, never on the diffuse
+    # voting bootstrap (where Eq. 10's h-estimate is known to misfire).
+    from repro.core import SingleRoundDetector
+    from repro.fusion import FusionConfig, run_fusion
+
+    warmup = run_fusion(
+        dataset,
+        bench_params,
+        detector=SingleRoundDetector(bench_params, method="index"),
+        config=FusionConfig(max_rounds=3, min_rounds=3),
+    )
+    probabilities = warmup.probabilities
+    accuracies = warmup.accuracies
+
+    def execute():
+        rows = []
+        for threshold in THRESHOLDS:
+            result = detect_hybrid(
+                dataset,
+                probabilities,
+                accuracies,
+                bench_params,
+                hybrid_threshold=threshold,
+            ).result
+            rows.append(
+                [
+                    threshold,
+                    result.cost.computations,
+                    result.cost.values_examined,
+                    len(result.copying_pairs()),
+                ]
+            )
+        return rows
+
+    _rows[profile] = benchmark.pedantic(execute, rounds=1, iterations=1)
+
+
+def test_report_ablation(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for profile, rows in _rows.items():
+        emit_report(
+            "bench_ablation_hybrid_threshold",
+            render_table(
+                f"Ablation: HYBRID threshold sweep on {profile} (single round)",
+                ["threshold", "computations", "values examined", "copying pairs"],
+                rows,
+            ),
+        )
+    # The verdicts must not depend on the threshold (only the cost does).
+    for rows in _rows.values():
+        pair_counts = {row[3] for row in rows}
+        assert len(pair_counts) <= 2  # bound estimates may flip a rare pair

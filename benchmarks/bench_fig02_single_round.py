@@ -1,0 +1,76 @@
+"""Figure 2 — computations and time of the single-round algorithms.
+
+Paper shape, per dataset, across INDEX / BOUND / BOUND+ / HYBRID:
+
+* BOUND does *more* computations than INDEX on three of four datasets
+  (bound upkeep outweighs the values it skips);
+* BOUND+ cuts BOUND's computations roughly in half (55% avg);
+* HYBRID matches BOUND+ on stock data (every pair is high-overlap) and
+  improves another ~20% on the book data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import render_table, run_method
+
+from conftest import BENCH_SCALES, emit_report
+
+PROFILES = tuple(BENCH_SCALES)
+METHODS = ("index", "bound", "bound+", "hybrid")
+_runs: dict[tuple[str, str], object] = {}
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("method", METHODS)
+def test_single_round_method(benchmark, worlds, bench_params, profile, method):
+    world = worlds[profile]
+
+    def execute():
+        return run_method(method, world.dataset, bench_params)
+
+    _runs[(profile, method)] = benchmark.pedantic(execute, rounds=1, iterations=1)
+
+
+def test_report_fig02(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for measure, attr in (
+        ("computations (all rounds)", "computations"),
+        ("detection seconds (all rounds)", "detection_seconds"),
+    ):
+        rows = []
+        for profile in PROFILES:
+            rows.append(
+                [profile]
+                + [getattr(_runs[(profile, m)], attr) for m in METHODS]
+            )
+        emit_report(
+            "bench_fig02_single_round",
+            render_table(
+                f"Figure 2 (reproduced): {measure}",
+                ["dataset"] + list(METHODS),
+                rows,
+            ),
+        )
+
+    # Shape assertions.
+    for profile in PROFILES:
+        bound = _runs[(profile, "bound")]
+        bound_plus = _runs[(profile, "bound+")]
+        hybrid = _runs[(profile, "hybrid")]
+        assert bound_plus.computations < bound.computations, profile
+        # HYBRID ~ BOUND+ everywhere; the footnote-16 threshold trade is
+        # cost-model dependent, so allow a modest excess (our book_full
+        # regime lets BOUND+ conclude tiny pairs at first sight, which
+        # exact mode cannot — see EXPERIMENTS.md).
+        assert hybrid.computations <= bound_plus.computations * 1.2, profile
+    hybrid_cs = _runs[("book_cs", "hybrid")]
+    bplus_cs = _runs[("book_cs", "bound+")]
+    assert hybrid_cs.computations <= bplus_cs.computations
+    # Stock data: every pair shares a lot, so HYBRID ~ BOUND+ (paper VI-C).
+    stock_hybrid = _runs[("stock_1day", "hybrid")]
+    stock_bplus = _runs[("stock_1day", "bound+")]
+    assert stock_hybrid.computations == pytest.approx(
+        stock_bplus.computations, rel=0.05
+    )

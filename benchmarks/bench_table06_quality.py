@@ -1,0 +1,105 @@
+"""Table VI — copy-detection and truth-discovery quality vs PAIRWISE.
+
+Paper shape (Book-CS / Stock-1day):
+
+* INDEX: P = R = F = 1, zero fusion difference (it *is* PAIRWISE).
+* HYBRID / INCREMENTAL: F >= .96, fusion results nearly unchanged.
+* SAMPLE1 collapses on Book-CS (F = .26) because most sources lose all
+  their items; on dense stock data naive sampling is fine (F = .96).
+* SCALESAMPLE recovers most of the loss on books (F = .88).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CopyParams
+from repro.eval import quality_vs_reference, render_table, run_method
+
+from conftest import SAMPLE_FRACTIONS, emit_report
+
+PROFILES = ("book_cs", "stock_1day")
+METHODS = ("pairwise", "sample1", "sample2", "index", "hybrid", "incremental", "scalesample")
+
+_runs: dict[tuple[str, str], object] = {}
+
+
+def _sample2_fraction(world, profile) -> float:
+    """The paper's SAMPLE2 protocol: match SCALESAMPLE's realised *cell*
+    budget (65% on Book-CS, 24% on Book-full in the original)."""
+    import random
+
+    from repro.sampling import sampled_cell_fraction, scale_sample
+
+    items = scale_sample(
+        world.dataset, SAMPLE_FRACTIONS[profile], random.Random(11)
+    )
+    return sampled_cell_fraction(world.dataset, items)
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("method", METHODS)
+def test_run_method(benchmark, worlds, bench_params, profile, method):
+    world = worlds[profile]
+    fraction = SAMPLE_FRACTIONS[profile]
+    if method == "sample2":
+        fraction = _sample2_fraction(world, profile)
+
+    def execute():
+        return run_method(
+            method,
+            world.dataset,
+            bench_params,
+            sample_fraction=fraction,
+            seed=11,
+        )
+
+    _runs[(profile, method)] = benchmark.pedantic(execute, rounds=1, iterations=1)
+
+
+def test_report_table06(benchmark, worlds, bench_params):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for profile in PROFILES:
+        world = worlds[profile]
+        reference = _runs[(profile, "pairwise")]
+        rows = []
+        for method in METHODS:
+            run = _runs[(profile, method)]
+            q = quality_vs_reference(run, reference, world.dataset, world.gold)
+            rows.append(
+                [
+                    method,
+                    q.copy_quality.precision,
+                    q.copy_quality.recall,
+                    q.copy_quality.f_measure,
+                    q.fusion_accuracy,
+                    q.fusion_diff,
+                    q.accuracy_var,
+                ]
+            )
+        table = render_table(
+            f"Table VI (reproduced): quality on {profile}",
+            ["method", "prec", "rec", "F", "fusion acc", "fusion diff", "acc var"],
+            rows,
+        )
+        emit_report("bench_table06_quality", table)
+
+    # Shape assertions from the paper.
+    for profile in PROFILES:
+        world = worlds[profile]
+        ref = _runs[(profile, "pairwise")]
+        index_q = quality_vs_reference(
+            _runs[(profile, "index")], ref, world.dataset, world.gold
+        )
+        assert index_q.copy_quality.f_measure == 1.0
+        assert index_q.fusion_diff == 0.0
+    # SCALESAMPLE >= SAMPLE1 on the low-coverage book data.
+    world = worlds["book_cs"]
+    ref = _runs[("book_cs", "pairwise")]
+    scale_f = quality_vs_reference(
+        _runs[("book_cs", "scalesample")], ref, world.dataset, world.gold
+    ).copy_quality.f_measure
+    naive_f = quality_vs_reference(
+        _runs[("book_cs", "sample1")], ref, world.dataset, world.gold
+    ).copy_quality.f_measure
+    assert scale_f >= naive_f

@@ -1,0 +1,65 @@
+"""Table X — execution-time ratio w.r.t. FAGININPUT.
+
+Paper shape: building NRA's sorted input lists costs more than HYBRID's
+whole detection (ratios .67-.99 for a single round) and far more than
+INCREMENTAL across rounds (ratios .19-.30), because the list construction
+computes every pair's contribution for every shared value with no skipping
+or early termination — and cannot be updated incrementally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import render_table, run_method
+
+from conftest import BENCH_SCALES, emit_report
+
+PROFILES = tuple(BENCH_SCALES)
+_runs: dict[tuple[str, str], object] = {}
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("method", ("fagininput", "hybrid", "incremental"))
+def test_run(benchmark, worlds, bench_params, profile, method):
+    world = worlds[profile]
+
+    def execute():
+        return run_method(method, world.dataset, bench_params)
+
+    _runs[(profile, method)] = benchmark.pedantic(execute, rounds=1, iterations=1)
+
+
+def test_report_table10(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for profile in PROFILES:
+        fagin = _runs[(profile, "fagininput")]
+        fagin_per_round = fagin.detection_seconds / max(fagin.rounds, 1)
+        hybrid = _runs[(profile, "hybrid")]
+        hybrid_per_round = hybrid.detection_seconds / max(hybrid.rounds, 1)
+        incremental = _runs[(profile, "incremental")]
+        rows.append(
+            [
+                profile,
+                hybrid_per_round / fagin_per_round,
+                incremental.detection_seconds / fagin.detection_seconds,
+            ]
+        )
+    emit_report(
+        "bench_table10_fagininput",
+        render_table(
+            "Table X (reproduced): time ratio w.r.t. FAGININPUT",
+            ["dataset", "hybrid / fagin (per round)", "incremental / fagin (total)"],
+            rows,
+        ),
+    )
+    # Shape: INCREMENTAL always beats list construction (the paper's
+    # stronger claim — lists cannot be refreshed incrementally); HYBRID
+    # beats it wherever bounds can terminate early (everywhere but our
+    # ultra-sparse book_full regime, where bound upkeep is pure overhead —
+    # see EXPERIMENTS.md).
+    for profile, hybrid_ratio, incremental_ratio in rows:
+        assert incremental_ratio < 1.0, profile
+        if profile != "book_full":
+            assert hybrid_ratio < 1.0, profile

@@ -1,0 +1,99 @@
+"""Book-aggregator scenario: sparse sources, copier cliques, sampling.
+
+The paper's Book-CS dataset came from AbeBooks: hundreds of small book
+stores, most covering under 1% of the catalogue, several syndicating
+(copying) each other's listings — including the mistakes.  This example
+generates a world with that shape and shows:
+
+* why naive item sampling destroys copy detection on such data while
+  SCALESAMPLE (>= 4 items per source) preserves it;
+* how much detection work the inverted index saves when most source
+  pairs share nothing;
+* that the fused catalogue beats both naive voting and copy-oblivious
+  fusion against the planted truth.
+
+Run:  python examples/book_aggregator.py [scale]
+"""
+
+import sys
+
+from repro.core import CopyParams
+from repro.eval import pair_quality, render_table, run_method
+from repro.fusion import run_fusion, vote
+from repro.synth import book_cs
+
+
+def main(scale: float = 0.2) -> None:
+    world = book_cs(scale=scale)
+    dataset = world.dataset
+    stats = dataset.stats()
+    params = CopyParams()
+    print(
+        f"Book world: {stats.n_sources} stores, {stats.n_items} items, "
+        f"{stats.n_claims} listings, {stats.n_index_entries} shared values, "
+        f"{len(world.copy_pairs)} planted copy edges"
+    )
+
+    # ------------------------------------------------------------------
+    # Detection cost: exhaustive vs index-driven vs sampled.
+    # ------------------------------------------------------------------
+    runs = {
+        name: run_method(name, dataset, params, seed=7)
+        for name in ("pairwise", "index", "incremental", "sample1", "scalesample")
+    }
+    reference = runs["pairwise"].copying_pairs()
+    rows = []
+    for name, run in runs.items():
+        quality = pair_quality(reference, run.copying_pairs())
+        rows.append(
+            [
+                name,
+                run.detection_seconds,
+                run.computations,
+                len(run.copying_pairs()),
+                quality.f_measure,
+            ]
+        )
+    print(render_table(
+        "Detection methods (quality measured against PAIRWISE)",
+        ["method", "seconds", "computations", "copying pairs", "F"],
+        rows,
+    ))
+    print(
+        "Note how plain 10% sampling (sample1) loses the copiers —"
+        " most stores keep too few items to accumulate evidence —"
+        " while scalesample's per-source floor keeps them."
+    )
+
+    # ------------------------------------------------------------------
+    # Does copy detection improve the fused catalogue?
+    # ------------------------------------------------------------------
+    gold = world.gold
+    voted = vote(dataset)
+    vote_accuracy = gold.accuracy_of(dataset, voted)
+    accu_only = run_fusion(dataset, params, detector=None)
+    aware = runs["incremental"].fusion
+    print(render_table(
+        "Fusion accuracy against the planted truth",
+        ["fuser", "accuracy"],
+        [
+            ["naive voting", vote_accuracy],
+            ["ACCU (accuracy-aware, copy-oblivious)", gold.accuracy_of(dataset, accu_only.chosen)],
+            ["ACCUCOPY + incremental detection", gold.accuracy_of(dataset, aware.chosen)],
+        ],
+    ))
+
+    # ------------------------------------------------------------------
+    # Which copiers were caught?
+    # ------------------------------------------------------------------
+    planted = world.copy_pair_ids()
+    found = runs["incremental"].copying_pairs()
+    caught = planted & found
+    print(
+        f"\nPlanted copy pairs caught: {len(caught)}/{len(planted)} "
+        f"(plus {len(found - planted)} transitive/co-copier pairs)"
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.2)

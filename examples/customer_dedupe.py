@@ -1,0 +1,85 @@
+"""Record linkage with the paper's machinery (intro, last paragraph).
+
+The paper closes its introduction noting that the index-and-prune ideas
+transfer to "other applications that require computing similarity by
+accumulating weighted evidence; for example, in record linkage different
+attributes may have different weights".  ``repro.linkage`` is that
+transfer: a Fellegi-Sunter deduplicator that indexes shared values,
+processes them rarest-first, and terminates pairs early — the same three
+moves as INDEX/BOUND.
+
+This example dedupes a synthetic customer file with planted duplicates
+(typos in some attributes, as real dupes have).
+
+Run:  python examples/customer_dedupe.py
+"""
+
+import random
+
+from repro.eval import render_table
+from repro.linkage import LinkageConfig, link_records
+
+FIRST = ["ada", "grace", "edsger", "alan", "barbara", "donald", "edgar", "tony"]
+LAST = ["lovelace", "hopper", "dijkstra", "turing", "liskov", "knuth", "codd", "hoare"]
+CITIES = ["london", "nyc", "zurich", "austin"]
+
+
+def synth_customers(n: int, n_dupes: int, seed: int = 4):
+    """Generate a customer table with ``n_dupes`` planted duplicate pairs."""
+    rng = random.Random(seed)
+    records = []
+    for i in range(n):
+        records.append(
+            {
+                "name": f"{rng.choice(FIRST)} {rng.choice(LAST)} {i}",
+                "email": f"user{i}@{rng.choice(['mail', 'corp', 'uni'])}.net",
+                "phone": f"555-{rng.randrange(10**6):06d}",
+                "city": rng.choice(CITIES),
+                "zip": f"{rng.randrange(90000):05d}",
+            }
+        )
+    planted = []
+    for _ in range(n_dupes):
+        source = rng.randrange(len(records))
+        dupe = dict(records[source])
+        # Real duplicates drift: one attribute gets mangled.
+        victim = rng.choice(["phone", "zip", "city"])
+        dupe[victim] = dupe[victim] + "x"
+        records.append(dupe)
+        planted.append((source, len(records) - 1))
+    return records, planted
+
+
+def main() -> None:
+    records, planted = synth_customers(n=400, n_dupes=25)
+    config = LinkageConfig(m=0.95, match_threshold=4.0, nonmatch_threshold=0.0)
+    result = link_records(records, config)
+
+    matches = result.matches()
+    planted_set = {(min(a, b), max(a, b)) for a, b in planted}
+    hit = len(matches & planted_set)
+    print(render_table(
+        "Deduplication of 425 customer records",
+        ["measure", "value"],
+        [
+            ["planted duplicate pairs", len(planted_set)],
+            ["pairs compared at all", len(result.decisions)],
+            ["declared matches", len(matches)],
+            ["planted pairs found", hit],
+            ["precision", hit / len(matches) if matches else 1.0],
+            ["recall", hit / len(planted_set)],
+            ["possible (clerical review)", len(result.possibles())],
+            ["attribute comparisons", result.comparisons],
+            ["pairs concluded early", result.pairs_skipped_early],
+        ],
+    ))
+    all_pairs = len(records) * (len(records) - 1) // 2
+    print(
+        f"\nOf {all_pairs:,} possible record pairs, only "
+        f"{len(result.decisions):,} shared any indexed value — the same"
+        " skip-the-rest effect the copy-detection index exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

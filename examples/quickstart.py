@@ -1,0 +1,104 @@
+"""Quickstart: the paper's motivating example, end to end.
+
+Ten sources list US state capitals (Table I of the paper).  Sources S2-S4
+copy from each other, as do S6-S8; both groups spread false values.  This
+script walks the full pipeline:
+
+1. inspect the inverted index (Table III),
+2. detect copying with PAIRWISE and with the scalable INDEX algorithm,
+3. run the iterative truth-finding loop and recover the true capitals.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    CopyParams,
+    InvertedIndex,
+    SingleRoundDetector,
+    detect_index,
+    detect_pairwise,
+)
+from repro.data import (
+    motivating_accuracies,
+    motivating_example,
+    motivating_gold,
+    motivating_value_probabilities,
+)
+from repro.eval import render_table
+from repro.fusion import run_fusion
+
+
+def main() -> None:
+    dataset = motivating_example()
+    params = CopyParams()  # alpha=.1, s=.8, n=50 — the paper's setting
+    accuracies = motivating_accuracies(dataset)
+    probabilities = motivating_value_probabilities(dataset)
+
+    # ------------------------------------------------------------------
+    # 1. The inverted index (Table III): one scored entry per shared value.
+    # ------------------------------------------------------------------
+    index = InvertedIndex.build(dataset, probabilities, accuracies, params)
+    rows = []
+    for position, entry in enumerate(index.entries):
+        rows.append(
+            [
+                f"{dataset.item_names[entry.item_id]}."
+                f"{dataset.value_label[entry.value_id]}",
+                entry.probability,
+                entry.score,
+                ",".join(dataset.source_names[s] for s in entry.providers),
+                "tail" if position >= index.tail_start else "",
+            ]
+        )
+    print(render_table(
+        "Inverted index (Table III)",
+        ["value", "Pr", "score", "providers", ""],
+        rows,
+    ))
+
+    # ------------------------------------------------------------------
+    # 2. Copy detection: exhaustive vs index-driven.
+    # ------------------------------------------------------------------
+    pairwise = detect_pairwise(dataset, probabilities, accuracies, params)
+    indexed = detect_index(dataset, probabilities, accuracies, params)
+    print(
+        f"\nPAIRWISE: {pairwise.cost.computations} computations over "
+        f"{pairwise.cost.pairs_considered} pairs"
+    )
+    print(
+        f"INDEX:    {indexed.cost.computations} computations over "
+        f"{indexed.cost.pairs_considered} pairs (same verdicts: "
+        f"{indexed.copying_pairs() == pairwise.copying_pairs()})"
+    )
+    print("\nDetected copying:")
+    for s1, s2 in sorted(indexed.copying_pairs()):
+        decision = indexed.decision_for(s1, s2)
+        print(
+            f"  {dataset.source_names[s1]} <-> {dataset.source_names[s2]}"
+            f"  Pr(independent) = {decision.posterior.independent:.4f}"
+        )
+
+    # ------------------------------------------------------------------
+    # 3. Iterative truth finding (Table II): accuracies and truths emerge.
+    # ------------------------------------------------------------------
+    detector = SingleRoundDetector(params, method="hybrid")
+    fusion = run_fusion(dataset, params, detector=detector)
+    gold = motivating_gold()
+    print(
+        f"\nFusion converged in {fusion.n_rounds} rounds; "
+        f"accuracy vs gold = {gold.accuracy_of(dataset, fusion.chosen):.2f}"
+    )
+    rows = [
+        [dataset.item_names[item], dataset.value_label[value]]
+        for item, value in sorted(fusion.chosen.items())
+    ]
+    print(render_table("Fused truths", ["state", "capital"], rows))
+    rows = [
+        [name, acc]
+        for name, acc in zip(dataset.source_names, fusion.accuracies)
+    ]
+    print(render_table("Learned source accuracies", ["source", "accuracy"], rows))
+
+
+if __name__ == "__main__":
+    main()

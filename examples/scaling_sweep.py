@@ -1,0 +1,54 @@
+"""Scaling sweep: how the detection-time gap grows with dataset size.
+
+The paper's headline is that copy detection drops from "one to two orders
+of magnitude slower than fusion" to "very little overhead".  PAIRWISE is
+quadratic in sources; INDEX touches only co-occurring pairs.  Sweeping the
+book profile's scale factor makes the divergence visible directly.
+
+Run:  python examples/scaling_sweep.py
+"""
+
+from repro.core import CopyParams
+from repro.eval import render_table, run_method
+from repro.synth import book_cs
+
+
+def main() -> None:
+    params = CopyParams()
+    rows = []
+    for scale in (0.1, 0.2, 0.4, 0.8):
+        world = book_cs(scale=scale)
+        stats = world.dataset.stats()
+        pairwise = run_method("pairwise", world.dataset, params)
+        indexed = run_method("index", world.dataset, params)
+        incremental = run_method("incremental", world.dataset, params)
+        rows.append(
+            [
+                scale,
+                stats.n_sources,
+                stats.n_claims,
+                pairwise.detection_seconds,
+                indexed.detection_seconds,
+                incremental.detection_seconds,
+                pairwise.detection_seconds / max(incremental.detection_seconds, 1e-9),
+            ]
+        )
+        print(f"scale {scale}: done")
+    print(render_table(
+        "Detection seconds vs dataset scale (book profile)",
+        ["scale", "sources", "claims", "pairwise s", "index s", "incremental s", "speedup"],
+        rows,
+    ))
+    print(
+        "\nPAIRWISE pays for every pair of sources while the index pays"
+        " only for pairs that actually share values, so the gap widens"
+        " with source count. Our PAIRWISE is a stronger baseline than the"
+        " paper's (it hash-probes the smaller source's claims), so expect"
+        " single-digit speedups at laptop scale rather than the paper's"
+        " 2-3 orders of magnitude on the full 894-source crawl —"
+        " EXPERIMENTS.md discusses the calibration."
+    )
+
+
+if __name__ == "__main__":
+    main()

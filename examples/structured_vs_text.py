@@ -1,0 +1,88 @@
+"""Why text copy detection fails on structured data (paper Section I).
+
+Classic document copy detection (Manber sketches, Brin chunking,
+Schleimer winnowing) keys on *long shared token runs*.  Structured
+sources have no natural record order: two sites carrying the same copied
+listings emit them in unrelated orders, so shared fragments shatter and
+fingerprinting goes blind — while the Bayesian detector, which reasons
+per (item, value), is order-immune.
+
+This example serialises a structured world both ways and runs winnowing
+and the Bayesian detector head to head.
+
+Run:  python examples/structured_vs_text.py
+"""
+
+from repro.core import CopyParams, SingleRoundDetector
+from repro.eval import pair_quality, render_table
+from repro.fingerprint import (
+    serialize_source,
+    sketch_containment,
+    winnow,
+)
+from repro.fusion import run_fusion
+from repro.synth import GeneratorConfig, generate
+
+
+def text_detect(dataset, order: str, threshold: float = 0.2):
+    """Winnowing-based copy candidates over serialised sources."""
+    sketches = [
+        winnow(serialize_source(dataset, s, order=order), q=4, window=4)
+        for s in range(dataset.n_sources)
+    ]
+    pairs = set()
+    for a in range(dataset.n_sources):
+        for b in range(a + 1, dataset.n_sources):
+            containment = max(
+                sketch_containment(sketches[a], sketches[b]),
+                sketch_containment(sketches[b], sketches[a]),
+            )
+            if containment >= threshold:
+                pairs.add((a, b))
+    return pairs
+
+
+def main() -> None:
+    world = generate(
+        GeneratorConfig(
+            n_items=400,
+            n_independent_sources=8,
+            coverage_range=(0.8, 1.0),
+            accuracy_range=(0.6, 0.95),
+            n_copier_groups=2,
+            copiers_per_group=2,
+            copy_selectivity=0.85,
+            seed=11,
+        )
+    )
+    dataset = world.dataset
+    planted = world.copy_pair_ids()
+    params = CopyParams()
+
+    bayes = run_fusion(
+        dataset, params, detector=SingleRoundDetector(params, method="hybrid")
+    ).final_detection().copying_pairs()
+
+    rows = []
+    for name, pairs in (
+        ("winnowing, aligned order (unrealistic)", text_detect(dataset, "aligned")),
+        ("winnowing, native order (realistic)", text_detect(dataset, "native")),
+        ("Bayesian detector (this library)", bayes),
+    ):
+        quality = pair_quality(planted, pairs)
+        rows.append([name, len(pairs), quality.precision, quality.recall])
+    print(render_table(
+        "Recovering planted copier pairs",
+        ["method", "pairs flagged", "precision", "recall"],
+        rows,
+    ))
+    print(
+        "\nWith a shared global record order the text pipeline sees the"
+        " copies; under each site's own order the shared runs vanish"
+        " (Section I: 'there is no natural way to order structured"
+        " data'). The value-level Bayesian detector is unaffected."
+    )
+
+
+if __name__ == "__main__":
+    main()

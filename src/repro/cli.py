@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro`` / ``repro-copydetect``.
+
+Subcommands:
+
+* ``generate`` — write a synthetic profile to claims/gold CSV files.
+* ``detect`` — single-round copy detection on a claims file with any
+  algorithm (probabilities/accuracies bootstrapped by voting).
+* ``fuse`` — full iterative fusion with a chosen detector; prints the
+  fused truths, final accuracies, and detected copying.
+* ``stats`` — Table V-style statistics of a claims file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .core import METHODS, CopyParams, IncrementalDetector, SingleRoundDetector, detect
+from .data import load_claims, load_gold, save_claims, save_gold
+from .eval import render_table
+from .fusion import FusionConfig, run_fusion, vote_probabilities
+from .synth import PROFILES, make_profile
+
+
+def _add_params(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--alpha", type=float, default=0.1, help="copy prior")
+    parser.add_argument("--s", type=float, default=0.8, help="copy selectivity")
+    parser.add_argument("--n", type=int, default=50, help="false values per item")
+
+
+def _params(args: argparse.Namespace) -> CopyParams:
+    return CopyParams(alpha=args.alpha, s=args.s, n=args.n)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    world = make_profile(args.profile, scale=args.scale, seed=args.seed)
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    save_claims(world.dataset, out / "claims.csv")
+    save_gold(world.gold, out / "gold.csv")
+    stats = world.dataset.stats()
+    print(
+        render_table(
+            f"Generated {args.profile} (scale={args.scale})",
+            ["sources", "items", "dist-values", "index-entries", "claims"],
+            [[
+                stats.n_sources,
+                stats.n_items,
+                stats.n_distinct_values,
+                stats.n_index_entries,
+                stats.n_claims,
+            ]],
+        )
+    )
+    print(f"claims -> {out / 'claims.csv'}")
+    print(f"gold   -> {out / 'gold.csv'}")
+    print(f"planted copying pairs: {sorted(world.copy_pairs)}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = load_claims(args.claims)
+    stats = dataset.stats()
+    print(
+        render_table(
+            f"Statistics of {args.claims}",
+            ["sources", "items", "dist-values", "index-entries", "claims", "conflicts/item"],
+            [[
+                stats.n_sources,
+                stats.n_items,
+                stats.n_distinct_values,
+                stats.n_index_entries,
+                stats.n_claims,
+                stats.avg_conflicts_per_item,
+            ]],
+        )
+    )
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    dataset = load_claims(args.claims)
+    params = _params(args)
+    probabilities = vote_probabilities(dataset)
+    accuracies = [0.8] * dataset.n_sources
+    start = time.perf_counter()
+    result = detect(dataset, probabilities, accuracies, params, method=args.method)
+    elapsed = time.perf_counter() - start
+    copying = sorted(
+        (pair for pair, d in result.decisions.items() if d.copying),
+        key=lambda pair: result.decisions[pair].posterior.independent,
+    )
+    rows = []
+    for s1, s2 in copying:
+        decision = result.decisions[(s1, s2)]
+        rows.append(
+            [
+                dataset.source_names[s1],
+                dataset.source_names[s2],
+                decision.posterior.independent,
+                decision.posterior.forward,
+                decision.posterior.backward,
+            ]
+        )
+    print(
+        render_table(
+            f"Copying detected by {args.method} "
+            f"({elapsed:.3f}s, {result.cost.computations:,} computations)",
+            ["source 1", "source 2", "Pr(indep)", "Pr(1->2)", "Pr(2->1)"],
+            rows,
+        )
+    )
+    if args.explain:
+        from .core import explain_pair
+
+        print()
+        for s1, s2 in copying[: args.explain]:
+            explanation = explain_pair(
+                dataset, s1, s2, probabilities, accuracies, params
+            )
+            print(explanation.render())
+            print()
+    return 0
+
+
+def _cmd_fuse(args: argparse.Namespace) -> int:
+    dataset = load_claims(args.claims)
+    params = _params(args)
+    if args.method == "none":
+        detector = None
+    elif args.method == "incremental":
+        detector = IncrementalDetector(params)
+    else:
+        detector = SingleRoundDetector(params, method=args.method)
+    config = FusionConfig(max_rounds=args.max_rounds)
+    result = run_fusion(dataset, params, detector=detector, config=config)
+
+    print(
+        f"converged={result.converged} rounds={result.n_rounds} "
+        f"detection={result.detection_seconds:.3f}s "
+        f"computations={result.total_computations:,}"
+    )
+    if args.gold:
+        gold = load_gold(args.gold)
+        print(f"fusion accuracy: {gold.accuracy_of(dataset, result.chosen):.3f}")
+    detection = result.final_detection()
+    if detection is not None:
+        pairs = sorted(
+            (dataset.source_names[a], dataset.source_names[b])
+            for a, b in detection.copying_pairs()
+        )
+        print(f"copying pairs ({len(pairs)}): {pairs}")
+    if args.truths:
+        rows = [
+            [dataset.item_names[item], dataset.value_label[value]]
+            for item, value in sorted(result.chosen.items())
+        ]
+        print(render_table("Fused truths", ["item", "value"], rows[: args.truths]))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .eval import run_suite
+
+    dataset = load_claims(args.claims)
+    gold = load_gold(args.gold) if args.gold else None
+    params = _params(args)
+    methods = tuple(args.methods.split(",")) if args.methods else None
+    suite = run_suite(
+        dataset,
+        params,
+        **({"methods": methods} if methods else {}),
+        sample_fraction=args.sample_fraction,
+    )
+    print(suite.render(dataset, gold))
+    print(f"\ntotal wall time: {suite.wall_seconds:.2f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-copydetect",
+        description="Scalable copy detection for structured data (Li et al., ICDE 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    p_gen.add_argument("profile", choices=PROFILES)
+    p_gen.add_argument("--scale", type=float, default=0.1)
+    p_gen.add_argument("--seed", type=int, default=7)
+    p_gen.add_argument("--output", "-o", default="dataset")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_stats = sub.add_parser("stats", help="dataset statistics (Table V columns)")
+    p_stats.add_argument("claims")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_det = sub.add_parser("detect", help="single-round copy detection")
+    p_det.add_argument("claims")
+    p_det.add_argument("--method", choices=METHODS, default="hybrid")
+    p_det.add_argument(
+        "--explain",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the evidence breakdown for the N most-confident pairs",
+    )
+    _add_params(p_det)
+    p_det.set_defaults(func=_cmd_detect)
+
+    p_fuse = sub.add_parser("fuse", help="iterative fusion with copy detection")
+    p_fuse.add_argument("claims")
+    p_fuse.add_argument(
+        "--method",
+        choices=list(METHODS) + ["incremental", "none"],
+        default="incremental",
+    )
+    p_fuse.add_argument("--gold", help="gold CSV for fusion accuracy")
+    p_fuse.add_argument("--max-rounds", type=int, default=12)
+    p_fuse.add_argument(
+        "--truths", type=int, default=0, metavar="N", help="print first N fused truths"
+    )
+    _add_params(p_fuse)
+    p_fuse.set_defaults(func=_cmd_fuse)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the method grid (Table VI/VII style) on a claims file"
+    )
+    p_bench.add_argument("claims")
+    p_bench.add_argument("--gold", help="gold CSV for fusion accuracy")
+    p_bench.add_argument(
+        "--methods",
+        help="comma-separated method list (default: the Table VI grid)",
+    )
+    p_bench.add_argument("--sample-fraction", type=float, default=0.1)
+    _add_params(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Core copy-detection algorithms: the paper's primary contribution."""
+
+from .bound import (
+    DEFAULT_HYBRID_THRESHOLD,
+    PairBookkeeping,
+    ScanOutcome,
+    detect_bound,
+    detect_bound_plus,
+    detect_hybrid,
+    scan_with_bounds,
+)
+from .contribution import (
+    CopyPosterior,
+    different_value_score,
+    no_copy_probability,
+    posterior,
+    pr_independent,
+    pr_single,
+    same_value_score,
+    same_value_scores_both,
+)
+from .detector import (
+    METHODS,
+    IncrementalDetector,
+    SingleRoundDetector,
+    detect,
+)
+from .explain import EvidenceItem, PairExplanation, explain_pair
+from .incremental import (
+    IncrementalState,
+    RoundStats,
+    incremental_round,
+    prepare_incremental,
+)
+from .index import EntryOrdering, IndexEntry, InvertedIndex
+from .index_algo import detect_index
+from .maxscore import max_score, max_score_bruteforce
+from .pairwise import detect_pairwise
+from .params import CopyParams
+from .popularity import (
+    detect_pairwise_popular,
+    estimate_relative_popularity,
+    pr_independent_popular,
+    pr_single_popular,
+    same_value_scores_popular,
+)
+from .result import CostCounter, DetectionResult, PairDecision
+
+__all__ = [
+    "CopyParams",
+    "CopyPosterior",
+    "CostCounter",
+    "DEFAULT_HYBRID_THRESHOLD",
+    "DetectionResult",
+    "EntryOrdering",
+    "EvidenceItem",
+    "IncrementalDetector",
+    "IncrementalState",
+    "IndexEntry",
+    "InvertedIndex",
+    "METHODS",
+    "PairBookkeeping",
+    "PairDecision",
+    "PairExplanation",
+    "RoundStats",
+    "ScanOutcome",
+    "SingleRoundDetector",
+    "detect",
+    "detect_bound",
+    "detect_bound_plus",
+    "detect_hybrid",
+    "detect_index",
+    "detect_pairwise",
+    "detect_pairwise_popular",
+    "different_value_score",
+    "explain_pair",
+    "estimate_relative_popularity",
+    "incremental_round",
+    "max_score",
+    "max_score_bruteforce",
+    "no_copy_probability",
+    "posterior",
+    "pr_independent",
+    "pr_independent_popular",
+    "pr_single",
+    "pr_single_popular",
+    "prepare_incremental",
+    "same_value_score",
+    "same_value_scores_both",
+    "same_value_scores_popular",
+    "scan_with_bounds",
+]

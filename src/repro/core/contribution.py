@@ -1,0 +1,137 @@
+"""Per-item contribution scores and the copying posterior (Eqs. 2-8).
+
+All copy detectors accumulate, for an ordered pair of sources
+``(S1, S2)``, the log-likelihood-ratio scores
+
+    C-> = sum_D ln Pr(Phi_D | S1 -> S2) / Pr(Phi_D | S1 _|_ S2)
+    C<- = sum_D ln Pr(Phi_D | S1 <- S2) / Pr(Phi_D | S1 _|_ S2)
+
+over the data items ``D`` the two sources share.  A shared item where both
+provide the same value contributes a positive score that grows as the
+value's truth probability shrinks (sharing a false value is strong
+evidence of copying); a shared item with different values contributes the
+constant ``ln(1-s) < 0``.
+
+This module is the single home of those formulas; every algorithm
+(PAIRWISE, INDEX, BOUND, INCREMENTAL, the fusion loop) calls into it so
+that a change to the probabilistic model stays in one place.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+from .params import CopyParams
+
+
+def pr_independent(p_true: float, acc1: float, acc2: float, n: int) -> float:
+    """Eq. (3): probability two independent sources provide the same value.
+
+    ``P(D.v) * A(S1) * A(S2)`` covers the case the shared value is true;
+    ``(1 - P(D.v)) * (1-A(S1)) * (1-A(S2)) / n`` the case it is one of the
+    ``n`` uniformly-distributed false values.
+    """
+    return p_true * acc1 * acc2 + (1.0 - p_true) * (1.0 - acc1) * (1.0 - acc2) / n
+
+
+def pr_single(p_true: float, acc: float) -> float:
+    """Eq. (4): probability of observing a source's value on an item.
+
+    ``Pr(Phi_D(S))`` — the source provides the observed value either as a
+    truth (probability ``A(S)``) or as a falsehood (``1 - A(S)``), weighted
+    by the value's truth probability.
+    """
+    return p_true * acc + (1.0 - p_true) * (1.0 - acc)
+
+
+def same_value_score(
+    p_true: float,
+    acc_copier: float,
+    acc_original: float,
+    params: CopyParams,
+) -> float:
+    """Eq. (6): contribution of a shared value to ``C(copier -> original)``.
+
+    ``C->(D) = ln(1 - s + s * Pr(Phi_D(S2)) / Pr(Phi_D | S1 _|_ S2))``
+    where ``S1`` is the hypothesised copier and ``S2`` the hypothesised
+    original.  The score is always ``>= 0`` and grows as ``p_true``
+    shrinks: sharing an improbable value is strong evidence of copying.
+
+    Args:
+        p_true: ``P(D.v)`` — probability the shared value is true.
+        acc_copier: accuracy of the hypothesised copier ``S1``.
+        acc_original: accuracy of the hypothesised original ``S2``.
+        params: model parameters.
+    """
+    a1 = params.clamp_accuracy(acc_copier)
+    a2 = params.clamp_accuracy(acc_original)
+    denominator = pr_independent(p_true, a1, a2, params.n)
+    ratio = pr_single(p_true, a2) / denominator
+    return math.log(1.0 - params.s + params.s * ratio)
+
+
+def same_value_scores_both(
+    p_true: float,
+    acc1: float,
+    acc2: float,
+    params: CopyParams,
+) -> tuple[float, float]:
+    """Both directed contributions for a shared value, sharing the Eq. (3) term.
+
+    Returns ``(C->(D), C<-(D))`` for the pair ``(S1, S2)`` with accuracies
+    ``(acc1, acc2)``.  Slightly cheaper than two :func:`same_value_score`
+    calls because the independent-observation denominator is common.
+    """
+    a1 = params.clamp_accuracy(acc1)
+    a2 = params.clamp_accuracy(acc2)
+    denominator = pr_independent(p_true, a1, a2, params.n)
+    fwd = math.log(1.0 - params.s + params.s * pr_single(p_true, a2) / denominator)
+    bwd = math.log(1.0 - params.s + params.s * pr_single(p_true, a1) / denominator)
+    return fwd, bwd
+
+
+def different_value_score(params: CopyParams) -> float:
+    """Eq. (8): contribution of a shared item with differing values."""
+    return params.ln_one_minus_s
+
+
+class CopyPosterior(NamedTuple):
+    """Posterior over the three hypotheses for a source pair (Eq. 1-2)."""
+
+    independent: float  #: Pr(S1 _|_ S2 | Phi)
+    forward: float  #: Pr(S1 -> S2 | Phi): S1 copies from S2
+    backward: float  #: Pr(S1 <- S2 | Phi): S2 copies from S1
+
+    @property
+    def copying(self) -> bool:
+        """The paper's binary decision: copying iff ``Pr(_|_) <= 0.5``."""
+        return self.independent <= 0.5
+
+
+def posterior(c_fwd: float, c_bwd: float, params: CopyParams) -> CopyPosterior:
+    """Eq. (2) evaluated stably from the accumulated scores.
+
+    ``Pr(_|_ | Phi) = 1 / (1 + (alpha/beta) (e^{C->} + e^{C<-}))``.  The
+    exponentials can overflow for strongly-copying pairs (hundreds of
+    shared false values), so the three-way posterior is computed in log
+    space with the usual max-shift trick.
+    """
+    log_terms = (
+        math.log(params.beta),
+        math.log(params.alpha) + c_fwd,
+        math.log(params.alpha) + c_bwd,
+    )
+    shift = max(log_terms)
+    exps = [math.exp(t - shift) for t in log_terms]
+    total = sum(exps)
+    return CopyPosterior(
+        independent=exps[0] / total,
+        forward=exps[1] / total,
+        backward=exps[2] / total,
+    )
+
+
+def no_copy_probability(c_fwd: float, c_bwd: float, params: CopyParams) -> float:
+    """Convenience wrapper returning only ``Pr(S1 _|_ S2 | Phi)``."""
+    return posterior(c_fwd, c_bwd, params).independent

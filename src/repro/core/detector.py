@@ -1,0 +1,250 @@
+"""Detector dispatch: one entry point for every algorithm in the paper.
+
+Two call styles are provided:
+
+* :func:`detect` — run a single detection round with a named method
+  (``"pairwise"``, ``"index"``, ``"bound"``, ``"bound+"``, ``"hybrid"``).
+* :class:`SingleRoundDetector` / :class:`IncrementalDetector` — stateful
+  objects with a uniform per-round interface, which is what the iterative
+  fusion loop (:mod:`repro.fusion`) drives.  ``IncrementalDetector``
+  implements the paper's INCREMENTAL schedule: HYBRID from scratch in
+  rounds 1 and 2 (round 2 doubles as the preparation round), incremental
+  updates from round 3 on (Section VI: "applying INCREMENTAL in the second
+  round would not save much").
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Sequence
+
+from ..data import Dataset
+from .bound import (
+    DEFAULT_HYBRID_THRESHOLD,
+    detect_bound,
+    detect_bound_plus,
+    detect_hybrid,
+)
+from .incremental import (
+    IncrementalState,
+    incremental_round,
+    prepare_incremental,
+)
+from .index import EntryOrdering
+from .index_algo import detect_index
+from .pairwise import detect_pairwise
+from .params import CopyParams
+from .result import DetectionResult
+
+#: Names accepted by :func:`detect` and the CLI.
+METHODS = ("pairwise", "index", "bound", "bound+", "hybrid")
+
+
+def detect(
+    dataset: Dataset,
+    probabilities: Sequence[float],
+    accuracies: Sequence[float],
+    params: CopyParams,
+    method: str = "hybrid",
+    ordering: EntryOrdering = EntryOrdering.BY_CONTRIBUTION,
+    rng: random.Random | None = None,
+    hybrid_threshold: int = DEFAULT_HYBRID_THRESHOLD,
+    shared_items=None,
+) -> DetectionResult:
+    """Run one copy-detection round with the named algorithm.
+
+    Args:
+        dataset: the claims.
+        probabilities: ``P(D.v)`` per value id.
+        accuracies: ``A(S)`` per source id.
+        params: model parameters.
+        method: one of :data:`METHODS`.
+        ordering: index entry ordering (ignored by ``pairwise``).
+        rng: random generator for ``EntryOrdering.RANDOM``.
+        hybrid_threshold: HYBRID's shared-item cutoff.
+        shared_items: precomputed ``l(S1, S2)`` counts to reuse across
+            rounds (the claims are static; see
+            :meth:`InvertedIndex.build`).
+
+    Returns:
+        The round's :class:`DetectionResult`, with ``elapsed_seconds``
+        filled in.
+
+    Raises:
+        ValueError: for an unknown method name.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+    start = time.perf_counter()
+    if method == "pairwise":
+        result = detect_pairwise(dataset, probabilities, accuracies, params)
+    else:
+        from .index import InvertedIndex
+
+        index = InvertedIndex.build(
+            dataset,
+            probabilities,
+            accuracies,
+            params,
+            ordering=ordering,
+            rng=rng,
+            shared_items=shared_items,
+        )
+        if method == "index":
+            result = detect_index(
+                dataset, probabilities, accuracies, params, index=index
+            )
+        elif method == "bound":
+            result = detect_bound(
+                dataset, probabilities, accuracies, params, index=index
+            )
+        elif method == "bound+":
+            result = detect_bound_plus(
+                dataset, probabilities, accuracies, params, index=index
+            )
+        else:  # hybrid
+            result = detect_hybrid(
+                dataset,
+                probabilities,
+                accuracies,
+                params,
+                index=index,
+                hybrid_threshold=hybrid_threshold,
+            ).result
+    result.elapsed_seconds = time.perf_counter() - start
+    return result
+
+
+class SingleRoundDetector:
+    """Stateless per-round detector: re-runs the named method every round."""
+
+    def __init__(
+        self,
+        params: CopyParams,
+        method: str = "hybrid",
+        ordering: EntryOrdering = EntryOrdering.BY_CONTRIBUTION,
+        rng: random.Random | None = None,
+        hybrid_threshold: int = DEFAULT_HYBRID_THRESHOLD,
+    ):
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+        self.params = params
+        self.method = method
+        self.ordering = ordering
+        self.rng = rng
+        self.hybrid_threshold = hybrid_threshold
+        self._shared_items_cache: tuple[int, dict] | None = None
+
+    def _shared_items(self, dataset: Dataset):
+        """Shared-item counts, computed once per dataset (claims are static)."""
+        if self._shared_items_cache is None or self._shared_items_cache[0] != id(
+            dataset
+        ):
+            from ..simjoin import count_shared_items
+
+            self._shared_items_cache = (id(dataset), count_shared_items(dataset))
+        return self._shared_items_cache[1]
+
+    def run_round(
+        self,
+        round_no: int,
+        dataset: Dataset,
+        probabilities: Sequence[float],
+        accuracies: Sequence[float],
+    ) -> DetectionResult:
+        """Detect copying for one fusion round (``round_no`` is 1-based)."""
+        shared = None if self.method == "pairwise" else self._shared_items(dataset)
+        return detect(
+            dataset,
+            probabilities,
+            accuracies,
+            self.params,
+            method=self.method,
+            ordering=self.ordering,
+            rng=self.rng,
+            hybrid_threshold=self.hybrid_threshold,
+            shared_items=shared,
+        )
+
+
+class IncrementalDetector:
+    """Stateful detector implementing the paper's INCREMENTAL schedule.
+
+    Rounds 1 and 2 run HYBRID from scratch (round 2 with bookkeeping —
+    the preparation round); rounds 3+ run :func:`incremental_round`.
+
+    Attributes:
+        state: the cross-round :class:`IncrementalState` (available after
+            round 2; exposes per-round :class:`RoundStats` via
+            ``state.history`` for Table VIII).
+    """
+
+    def __init__(
+        self,
+        params: CopyParams,
+        ordering: EntryOrdering = EntryOrdering.BY_CONTRIBUTION,
+        hybrid_threshold: int = DEFAULT_HYBRID_THRESHOLD,
+        rho_value: float = 1.0,
+        rho_accuracy: float = 0.2,
+        prepare_round: int = 2,
+    ):
+        self.params = params
+        self.ordering = ordering
+        self.hybrid_threshold = hybrid_threshold
+        self.rho_value = rho_value
+        self.rho_accuracy = rho_accuracy
+        self.prepare_round = prepare_round
+        self.state: IncrementalState | None = None
+        self._shared_items_cache: tuple[int, dict] | None = None
+
+    def _shared_items(self, dataset: Dataset):
+        """Shared-item counts, computed once per dataset (claims are static)."""
+        if self._shared_items_cache is None or self._shared_items_cache[0] != id(
+            dataset
+        ):
+            from ..simjoin import count_shared_items
+
+            self._shared_items_cache = (id(dataset), count_shared_items(dataset))
+        return self._shared_items_cache[1]
+
+    def run_round(
+        self,
+        round_no: int,
+        dataset: Dataset,
+        probabilities: Sequence[float],
+        accuracies: Sequence[float],
+    ) -> DetectionResult:
+        """Detect copying for one fusion round (``round_no`` is 1-based)."""
+        start = time.perf_counter()
+        if round_no < self.prepare_round:
+            result = detect_hybrid(
+                dataset,
+                probabilities,
+                accuracies,
+                self.params,
+                ordering=self.ordering,
+                hybrid_threshold=self.hybrid_threshold,
+                shared_items_hint=self._shared_items(dataset),
+            ).result
+        elif round_no == self.prepare_round or self.state is None:
+            result, self.state = prepare_incremental(
+                dataset,
+                probabilities,
+                accuracies,
+                self.params,
+                ordering=self.ordering,
+                hybrid_threshold=self.hybrid_threshold,
+                shared_items_hint=self._shared_items(dataset),
+            )
+        else:
+            result = incremental_round(
+                self.state,
+                probabilities,
+                accuracies,
+                self.params,
+                rho_value=self.rho_value,
+                rho_accuracy=self.rho_accuracy,
+            )
+        result.elapsed_seconds = time.perf_counter() - start
+        return result

@@ -1,0 +1,177 @@
+"""Evidence explanations: *why* was a pair judged to be copying?
+
+Copy detection verdicts carry real-world weight (the paper motivates
+"protecting the rights of data providers"), so a production library must
+be able to justify them.  :func:`explain_pair` recomputes a pair's
+evidence item by item and returns a structured breakdown — every shared
+value with its probability and directed contributions, the count of
+disagreements and their penalty, and the resulting posterior — which the
+CLI renders for ``detect --explain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..data import Dataset
+from .contribution import CopyPosterior, posterior, same_value_scores_both
+from .params import CopyParams
+
+
+@dataclass(frozen=True)
+class EvidenceItem:
+    """One shared data item's contribution to a pair's verdict."""
+
+    item: str
+    value_a: str
+    value_b: str
+    shared: bool
+    probability: float | None  #: P(D.v) of the shared value (None if differing)
+    c_fwd: float
+    c_bwd: float
+
+
+@dataclass(frozen=True)
+class PairExplanation:
+    """Full evidence breakdown for one source pair.
+
+    Attributes:
+        source_a: first source's name.
+        source_b: second source's name.
+        items: per-item evidence, strongest forward contribution first.
+        n_shared_values: items where the sources agree.
+        n_different: items where both claim but disagree.
+        c_fwd: total ``C(a -> b)``.
+        c_bwd: total ``C(a <- b)``.
+        posterior: the three-way verdict distribution.
+    """
+
+    source_a: str
+    source_b: str
+    items: list[EvidenceItem]
+    n_shared_values: int
+    n_different: int
+    c_fwd: float
+    c_bwd: float
+    posterior: CopyPosterior
+
+    @property
+    def copying(self) -> bool:
+        return self.posterior.copying
+
+    def top_evidence(self, k: int = 5) -> list[EvidenceItem]:
+        """The k strongest pieces of copying evidence."""
+        return self.items[:k]
+
+    def render(self, max_items: int = 10) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"{self.source_a} vs {self.source_b}: "
+            f"Pr(independent) = {self.posterior.independent:.4f} "
+            f"({'COPYING' if self.copying else 'independent'})",
+            f"  C-> = {self.c_fwd:.3f}   C<- = {self.c_bwd:.3f}   "
+            f"shared values = {self.n_shared_values}, "
+            f"disagreements = {self.n_different}",
+        ]
+        for ev in self.items[:max_items]:
+            if ev.shared:
+                lines.append(
+                    f"  + {ev.item} = {ev.value_a!r} "
+                    f"(P={ev.probability:.3f}) -> {ev.c_fwd:+.3f}"
+                )
+            else:
+                lines.append(
+                    f"  - {ev.item}: {ev.value_a!r} vs {ev.value_b!r} "
+                    f"-> {ev.c_fwd:+.3f}"
+                )
+        hidden = len(self.items) - max_items
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more items")
+        return "\n".join(lines)
+
+
+def explain_pair(
+    dataset: Dataset,
+    source_a: int,
+    source_b: int,
+    probabilities: Sequence[float],
+    accuracies: Sequence[float],
+    params: CopyParams,
+) -> PairExplanation:
+    """Break down the evidence between two sources item by item.
+
+    Args:
+        dataset: the claims.
+        source_a: first source id.
+        source_b: second source id (distinct from ``source_a``).
+        probabilities: ``P(D.v)`` per value id.
+        accuracies: ``A(S)`` per source id.
+        params: model parameters.
+
+    Raises:
+        ValueError: if the two ids coincide or are out of range.
+    """
+    if source_a == source_b:
+        raise ValueError("cannot explain a source against itself")
+    for source in (source_a, source_b):
+        if not 0 <= source < dataset.n_sources:
+            raise ValueError(f"source id {source} out of range")
+
+    ln_diff = params.ln_one_minus_s
+    claims_a = dataset.claims[source_a]
+    claims_b = dataset.claims[source_b]
+    items: list[EvidenceItem] = []
+    c_fwd = c_bwd = 0.0
+    n_shared = n_diff = 0
+    for item_id, value_a in claims_a.items():
+        value_b = claims_b.get(item_id)
+        if value_b is None:
+            continue
+        item_name = dataset.item_names[item_id]
+        if value_a == value_b:
+            p_true = probabilities[value_a]
+            fwd, bwd = same_value_scores_both(
+                p_true, accuracies[source_a], accuracies[source_b], params
+            )
+            items.append(
+                EvidenceItem(
+                    item=item_name,
+                    value_a=dataset.value_label[value_a],
+                    value_b=dataset.value_label[value_b],
+                    shared=True,
+                    probability=p_true,
+                    c_fwd=fwd,
+                    c_bwd=bwd,
+                )
+            )
+            c_fwd += fwd
+            c_bwd += bwd
+            n_shared += 1
+        else:
+            items.append(
+                EvidenceItem(
+                    item=item_name,
+                    value_a=dataset.value_label[value_a],
+                    value_b=dataset.value_label[value_b],
+                    shared=False,
+                    probability=None,
+                    c_fwd=ln_diff,
+                    c_bwd=ln_diff,
+                )
+            )
+            c_fwd += ln_diff
+            c_bwd += ln_diff
+            n_diff += 1
+
+    items.sort(key=lambda ev: -ev.c_fwd)
+    return PairExplanation(
+        source_a=dataset.source_names[source_a],
+        source_b=dataset.source_names[source_b],
+        items=items,
+        n_shared_values=n_shared,
+        n_different=n_diff,
+        c_fwd=c_fwd,
+        c_bwd=c_bwd,
+        posterior=posterior(c_fwd, c_bwd, params),
+    )

@@ -1,0 +1,254 @@
+"""The specialized inverted index of Section III (Definition 3.2).
+
+Each entry corresponds to a value ``D.v`` provided by **at least two**
+sources and carries
+
+* ``probability`` — ``P(D.v)``, the current truth probability;
+* ``score`` — ``M-hat(D.v)``, the maximum possible contribution of sharing
+  the value (Proposition 3.1);
+* ``providers`` — the sources providing ``D.v``.  By construction a source
+  appears in at most one entry per data item.
+
+Entries are processed in an order chosen by :class:`EntryOrdering`
+(the paper's default and best performer is ``BY_CONTRIBUTION`` —
+decreasing score).  The low-score *tail* ``E-bar`` — the maximal set of
+lowest-score entries whose scores sum to less than ``theta_ind`` — is
+always processed last: source pairs whose shared values all lie in the
+tail cannot accumulate enough evidence for copying and are never opened
+(Section III, "Optimizing with the index").
+
+The index also precomputes the shared-item counts ``l(S1, S2)`` for every
+co-occurring source pair (via :mod:`repro.simjoin`) and a suffix-maximum
+score array so the BOUND family can read ``M`` — an upper bound on the
+contribution of any unscanned entry — in O(1) under *any* processing
+order (for ``BY_CONTRIBUTION`` this is simply the next entry's score,
+Proposition 3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..data import Dataset
+from ..simjoin import PairCounts, count_shared_items
+from .maxscore import max_score
+from .params import CopyParams
+
+
+class EntryOrdering(enum.Enum):
+    """Processing order for non-tail index entries (Section VI-C)."""
+
+    BY_CONTRIBUTION = "by_contribution"  #: decreasing M-hat score (paper default)
+    BY_PROVIDER = "by_provider"  #: increasing number of providers
+    RANDOM = "random"  #: uniformly shuffled
+
+
+@dataclass
+class IndexEntry:
+    """One inverted-index entry (Definition 3.2).
+
+    Attributes:
+        value_id: the dataset's interned ``(item, value)`` id.
+        item_id: the data item the value belongs to.
+        probability: ``P(D.v)`` used when the entry was (re)scored.
+        score: ``M-hat(D.v)`` under that probability.
+        providers: source ids providing the value (>= 2 of them).
+    """
+
+    value_id: int
+    item_id: int
+    probability: float
+    score: float
+    providers: list[int]
+
+
+class InvertedIndex:
+    """Scored inverted index over shared values, plus pair-level metadata.
+
+    Attributes:
+        entries: all entries in *processing order* — the chosen ordering
+            over non-tail entries followed by the tail (score-descending).
+        tail_start: position of the first tail (``E-bar``) entry;
+            ``entries[tail_start:]`` is the tail.
+        shared_items: ``l(S1, S2)`` for every source pair sharing >= 1
+            item, keyed by sorted id pairs.
+        items_per_source: ``|D-bar(S)|`` per source id.
+        suffix_max: ``suffix_max[i]`` is the maximum score among entries at
+            positions ``>= i`` (``suffix_max[len(entries)] == 0.0``); the
+            bound computations read ``M`` at position ``pos`` as
+            ``suffix_max[pos + 1]``.
+    """
+
+    def __init__(
+        self,
+        entries: list[IndexEntry],
+        tail_start: int,
+        shared_items: PairCounts,
+        items_per_source: list[int],
+    ):
+        self.entries = entries
+        self.tail_start = tail_start
+        self.shared_items = shared_items
+        self.items_per_source = items_per_source
+        self.suffix_max = self._compute_suffix_max(entries)
+
+    @staticmethod
+    def _compute_suffix_max(entries: Sequence[IndexEntry]) -> list[float]:
+        suffix = [0.0] * (len(entries) + 1)
+        for i in range(len(entries) - 1, -1, -1):
+            suffix[i] = max(entries[i].score, suffix[i + 1])
+        return suffix
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        dataset: Dataset,
+        probabilities: Sequence[float],
+        accuracies: Sequence[float],
+        params: CopyParams,
+        ordering: EntryOrdering = EntryOrdering.BY_CONTRIBUTION,
+        rng: random.Random | None = None,
+        shared_items: PairCounts | None = None,
+    ) -> "InvertedIndex":
+        """Build the index for a dataset under current probability estimates.
+
+        Args:
+            dataset: the claims.
+            probabilities: ``P(D.v)`` per value id.
+            accuracies: ``A(S)`` per source id.
+            params: model parameters (for scoring and the tail threshold).
+            ordering: processing order for non-tail entries.
+            rng: random generator for ``EntryOrdering.RANDOM`` (a fixed
+                seed is used if omitted, keeping runs reproducible).
+            shared_items: precomputed ``l(S1, S2)`` counts to reuse.  The
+                claims never change across fusion rounds, so iterative
+                callers compute the counts once and pass them back in —
+                the paper counts them "at index building time" with
+                set-similarity-join techniques for the same reason.
+        """
+        if len(probabilities) != dataset.n_values:
+            raise ValueError(
+                f"need one probability per value "
+                f"({len(probabilities)} != {dataset.n_values})"
+            )
+        if len(accuracies) != dataset.n_sources:
+            raise ValueError(
+                f"need one accuracy per source "
+                f"({len(accuracies)} != {dataset.n_sources})"
+            )
+        entries = []
+        for value_id, providers in enumerate(dataset.providers):
+            if len(providers) < 2:
+                continue
+            p_true = probabilities[value_id]
+            provider_accuracies = [accuracies[s] for s in providers]
+            entries.append(
+                IndexEntry(
+                    value_id=value_id,
+                    item_id=dataset.value_item[value_id],
+                    probability=p_true,
+                    score=max_score(p_true, provider_accuracies, params),
+                    providers=list(providers),
+                )
+            )
+
+        main, tail = cls._split_tail(entries, params.theta_ind)
+        cls._order_main(main, ordering, rng)
+        ordered = main + tail
+        return cls(
+            entries=ordered,
+            tail_start=len(main),
+            shared_items=(
+                shared_items
+                if shared_items is not None
+                else count_shared_items(dataset)
+            ),
+            items_per_source=list(dataset.items_per_source),
+        )
+
+    @staticmethod
+    def _split_tail(
+        entries: list[IndexEntry], theta_ind: float
+    ) -> tuple[list[IndexEntry], list[IndexEntry]]:
+        """Split off ``E-bar``: lowest-score entries summing below theta_ind."""
+        by_score = sorted(entries, key=lambda e: e.score)
+        cumulative = 0.0
+        tail_size = 0
+        for entry in by_score:
+            cumulative += entry.score
+            if cumulative >= theta_ind:
+                break
+            tail_size += 1
+        tail = by_score[:tail_size]
+        tail_ids = {id(e) for e in tail}
+        main = [e for e in entries if id(e) not in tail_ids]
+        tail.sort(key=lambda e: -e.score)
+        return main, tail
+
+    @staticmethod
+    def _order_main(
+        main: list[IndexEntry],
+        ordering: EntryOrdering,
+        rng: random.Random | None,
+    ) -> None:
+        if ordering is EntryOrdering.BY_CONTRIBUTION:
+            main.sort(key=lambda e: -e.score)
+        elif ordering is EntryOrdering.BY_PROVIDER:
+            main.sort(key=lambda e: len(e.providers))
+        elif ordering is EntryOrdering.RANDOM:
+            (rng or random.Random(0)).shuffle(main)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown ordering {ordering!r}")
+
+    # ------------------------------------------------------------------
+    # Incremental support
+    # ------------------------------------------------------------------
+    def rescore(
+        self,
+        probabilities: Sequence[float],
+        accuracies: Sequence[float],
+        params: CopyParams,
+    ) -> list[float]:
+        """Compute fresh ``M-hat`` scores without changing entry order.
+
+        Used by INCREMENTAL, which keeps the processing order of the last
+        from-scratch round fixed while probabilities drift.
+
+        Returns:
+            New score per entry, aligned with ``self.entries``.
+        """
+        scores = []
+        for entry in self.entries:
+            provider_accuracies = [accuracies[s] for s in entry.providers]
+            scores.append(
+                max_score(probabilities[entry.value_id], provider_accuracies, params)
+            )
+        return scores
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_entries(self) -> int:
+        """Total number of entries (main + tail)."""
+        return len(self.entries)
+
+    def pairs_in_main(self) -> set[tuple[int, int]]:
+        """Source pairs co-occurring in at least one non-tail entry.
+
+        These are exactly the pairs INDEX/BOUND will open; everything else
+        is concluded independent for free.
+        """
+        pairs: set[tuple[int, int]] = set()
+        for entry in self.entries[: self.tail_start]:
+            providers = entry.providers
+            for i in range(len(providers)):
+                for j in range(i + 1, len(providers)):
+                    pairs.add((providers[i], providers[j]))
+        return pairs

@@ -1,0 +1,104 @@
+"""Proposition 3.1: the maximum contribution score of an index entry.
+
+The contribution of sharing ``D.v`` differs per source pair (it depends on
+both accuracies), so each index entry is scored with the *maximum*
+contribution over every ordered pair of its providers, written
+``M-hat(D.v)``.  Proposition 3.1 shows the maximiser always involves
+providers with extreme (minimum / second-minimum / maximum) accuracies, so
+``M-hat`` is computable in O(k) from the provider accuracy list instead of
+O(k^2) over pairs.
+
+Why extremes suffice: Eq. (6) is ``ln(1 - s + s * N(a2) / D(a1, a2))``
+with ``N`` linear in ``a2`` and ``D`` bilinear in ``(a1, a2)``.  For fixed
+``a2`` the score is monotone in ``a1`` (the denominator is linear in
+``a1``), and for fixed ``a1`` the ratio ``N/D`` is a Moebius function of
+``a2``, hence monotone on the unit interval.  The maximiser therefore uses
+accuracies from the extremes of the provider list.  We evaluate every
+ordered pair among the four extreme providers (min, second-min,
+second-max, max — at most 12 candidate pairs), a superset of the
+proposition's three cases that is immune to boundary-condition slips.
+``max_score_bruteforce`` checks every ordered pair and is used by the test
+suite to validate this reasoning numerically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .contribution import same_value_score
+from .params import CopyParams
+
+
+def max_score(
+    p_true: float,
+    accuracies: Sequence[float],
+    params: CopyParams,
+) -> float:
+    """``M-hat(D.v)`` — maximum Eq. (6) score over ordered provider pairs.
+
+    Evaluates the proposition's candidate configurations — (max copier,
+    min original), (second-min copier, min original), (min copier,
+    second-min original) plus their two symmetric completions for safety
+    at degenerate accuracy regimes — after a single O(k) extremes pass.
+    This function is the inner loop of index (re)scoring, so it avoids
+    sorting and list allocation.
+
+    Args:
+        p_true: probability of the entry's value being true.
+        accuracies: accuracies of the entry's providers (length >= 2).
+        params: model parameters.
+
+    Raises:
+        ValueError: if fewer than two providers are given (such values
+            never enter the index — Definition 3.2).
+    """
+    if len(accuracies) < 2:
+        raise ValueError("an index entry needs at least two providers")
+    a_min = a_second = float("inf")
+    a_max = a_second_max = float("-inf")
+    for a in accuracies:
+        if a < a_min:
+            a_second = a_min
+            a_min = a
+        elif a < a_second:
+            a_second = a
+        if a > a_max:
+            a_second_max = a_max
+            a_max = a
+        elif a > a_second_max:
+            a_second_max = a
+    best = float("-inf")
+    for copier, original in (
+        (a_max, a_min),
+        (a_second, a_min),
+        (a_min, a_second),
+        (a_min, a_max),
+        (a_second_max, a_max),
+    ):
+        score = same_value_score(p_true, copier, original, params)
+        if score > best:
+            best = score
+    return best
+
+
+def max_score_bruteforce(
+    p_true: float,
+    accuracies: Sequence[float],
+    params: CopyParams,
+) -> float:
+    """Reference implementation: maximise over every ordered provider pair.
+
+    O(k^2); used only in tests to validate :func:`max_score` (and with it
+    Proposition 3.1).
+    """
+    if len(accuracies) < 2:
+        raise ValueError("an index entry needs at least two providers")
+    best = float("-inf")
+    for i, a1 in enumerate(accuracies):
+        for j, a2 in enumerate(accuracies):
+            if i == j:
+                continue
+            score = same_value_score(p_true, a1, a2, params)
+            if score > best:
+                best = score
+    return best

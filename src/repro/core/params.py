@@ -1,0 +1,127 @@
+"""Model parameters for Bayesian copy detection (Section II of the paper).
+
+Three inputs drive the Bayesian analysis (footnote 4 of the paper: "alpha,
+n, s are inputs and can be set/refined according to [5], [6]"):
+
+* ``alpha`` — a-priori probability that one source copies from another in a
+  given direction, ``0 < alpha < 0.5``; ``beta = 1 - 2*alpha`` is the prior
+  of independence.
+* ``s`` — copy *selectivity*: the probability that a copier copies on any
+  particular data item.
+* ``n`` — the number of (uniformly distributed) false values in the domain
+  of each data item.
+
+The early-termination thresholds of Section IV follow from these:
+``theta_ind = ln(beta / 2 alpha)`` (no-copying can be concluded when both
+upper bounds fall below it) and ``theta_cp = ln(beta / alpha)`` (copying
+can be concluded when either lower bound reaches it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CopyParams:
+    """Immutable parameter bundle shared by every detector.
+
+    The defaults are the values used in the paper's worked examples
+    (Example 2.1: ``alpha = 0.1``, ``s = 0.8``, ``n = 50``).
+
+    Attributes:
+        alpha: prior probability of directed copying.
+        s: copy selectivity (probability the copier copies a given item).
+        n: number of false values per data item domain.
+        accuracy_clamp: accuracies are clamped into
+            ``[accuracy_clamp, 1 - accuracy_clamp]`` before any log/ratio
+            computation so that scores stay finite (sources with accuracy
+            exactly 0 or 1 would otherwise produce infinities).
+    """
+
+    alpha: float = 0.1
+    s: float = 0.8
+    n: int = 50
+    accuracy_clamp: float = 0.005
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 0.5:
+            raise ValueError(f"alpha must be in (0, 0.5), got {self.alpha}")
+        if not 0.0 < self.s < 1.0:
+            raise ValueError(f"s must be in (0, 1), got {self.s}")
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+        if not 0.0 < self.accuracy_clamp < 0.5:
+            raise ValueError(
+                f"accuracy_clamp must be in (0, 0.5), got {self.accuracy_clamp}"
+            )
+
+    @property
+    def beta(self) -> float:
+        """Prior probability of independence, ``1 - 2*alpha``."""
+        return 1.0 - 2.0 * self.alpha
+
+    @property
+    def theta_cp(self) -> float:
+        """Copying threshold ``ln(beta/alpha)`` (Section IV-A)."""
+        return math.log(self.beta / self.alpha)
+
+    @property
+    def theta_ind(self) -> float:
+        """No-copying threshold ``ln(beta/(2*alpha))`` (Section IV-A)."""
+        return math.log(self.beta / (2.0 * self.alpha))
+
+    def theta_cp_at(self, p_independent: float) -> float:
+        """Copying threshold guaranteeing ``Pr(indep | Phi) <= p_independent``.
+
+        Section IV-A's banded variant: to *conclude copying with
+        confidence* (e.g. posterior independence below 0.1 rather than
+        merely below 0.5), require either direction's lower bound to reach
+        ``ln(beta (1-p) / (alpha p))``.  At ``p = 0.5`` this reduces to
+        :attr:`theta_cp`.
+
+        Raises:
+            ValueError: if ``p_independent`` is not in (0, 1).
+        """
+        if not 0.0 < p_independent < 1.0:
+            raise ValueError(
+                f"p_independent must be in (0, 1), got {p_independent}"
+            )
+        return math.log(
+            self.beta * (1.0 - p_independent) / (self.alpha * p_independent)
+        )
+
+    def theta_ind_at(self, p_independent: float) -> float:
+        """No-copy threshold guaranteeing ``Pr(indep | Phi) > p_independent``.
+
+        Both directions' upper bounds below
+        ``ln(beta (1-p) / (2 alpha p))`` force the posterior independence
+        probability above ``p`` (e.g. 0.9).  At ``p = 0.5`` this reduces
+        to :attr:`theta_ind`.
+
+        Raises:
+            ValueError: if ``p_independent`` is not in (0, 1).
+        """
+        if not 0.0 < p_independent < 1.0:
+            raise ValueError(
+                f"p_independent must be in (0, 1), got {p_independent}"
+            )
+        return math.log(
+            self.beta * (1.0 - p_independent) / (2.0 * self.alpha * p_independent)
+        )
+
+    @property
+    def ln_one_minus_s(self) -> float:
+        """``ln(1-s)``, the contribution of a differing data item (Eq. 8)."""
+        return math.log(1.0 - self.s)
+
+    def clamp_accuracy(self, accuracy: float) -> float:
+        """Clamp an accuracy into the open interval the math requires."""
+        low = self.accuracy_clamp
+        high = 1.0 - self.accuracy_clamp
+        if accuracy < low:
+            return low
+        if accuracy > high:
+            return high
+        return accuracy

@@ -1,0 +1,201 @@
+"""Popularity-aware contribution scores (the paper's footnote 2).
+
+The base model assumes each item's ``n`` false values are *uniformly*
+distributed, so any two erring sources collide with probability ``1/n``.
+Footnote 2 notes the assumption "can be relaxed to take value
+distributions into account [6]".  In the wild false values are heavily
+skewed — a stale price or a common misspelling is repeated by many
+independent sources — and the uniform model over-reads those collisions
+as copying.
+
+We parameterise each value with a *relative popularity*
+``rho(v) = n * pop(v)``, where ``pop(v)`` is the chance an erring source
+picks ``v`` (uniform model: ``rho = 1`` everywhere).  The generalised
+formulas, reducing exactly to Eqs. (3)-(4) at ``rho = 1``:
+
+* both independently provide the false ``v``:
+  ``(1-A1)(1-A2) * rho(v)^2 / n``  (collision scales with popularity
+  squared);
+* one source provides the false ``v``: ``(1-A) * rho(v) / n * n
+  = (1-A) * rho(v)`` inside the same normalisation the paper uses.
+
+Sharing a *popular* false value is weaker evidence of copying whenever
+the false-collision channel dominates Eq. (3) — i.e. for values that are
+clearly false (small ``P(D.v)``) provided by error-prone sources, exactly
+the "popular falsehood spread by independent sloppy sources" situation
+the footnote targets.  (For highly accurate providers the ``P * A1 * A2``
+"might actually be true" channel dominates the denominator and the
+correction is small or even reversed — the model, not a bug; the test
+suite pins down both regimes.)
+
+``estimate_relative_popularity`` infers ``rho`` from the data itself:
+within each item, a value's expected false-provider mass (providers
+weighted by ``1 - P(v)``) is Laplace-smoothed against the ``n`` false
+slots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..data import Dataset
+from .contribution import posterior
+from .params import CopyParams
+from .result import CostCounter, DetectionResult, PairDecision
+
+
+def pr_independent_popular(
+    p_true: float,
+    acc1: float,
+    acc2: float,
+    rel_popularity: float,
+    n: int,
+) -> float:
+    """Popularity-aware Eq. (3); equals ``pr_independent`` at rho = 1."""
+    return (
+        p_true * acc1 * acc2
+        + (1.0 - p_true)
+        * (1.0 - acc1)
+        * (1.0 - acc2)
+        * rel_popularity
+        * rel_popularity
+        / n
+    )
+
+
+def pr_single_popular(p_true: float, acc: float, rel_popularity: float) -> float:
+    """Popularity-aware Eq. (4); equals ``pr_single`` at rho = 1."""
+    return p_true * acc + (1.0 - p_true) * (1.0 - acc) * rel_popularity
+
+
+def same_value_scores_popular(
+    p_true: float,
+    acc1: float,
+    acc2: float,
+    rel_popularity: float,
+    params: CopyParams,
+) -> tuple[float, float]:
+    """Both directed Eq. (6) contributions under the popularity model."""
+    a1 = params.clamp_accuracy(acc1)
+    a2 = params.clamp_accuracy(acc2)
+    denominator = pr_independent_popular(p_true, a1, a2, rel_popularity, params.n)
+    fwd = math.log(
+        1.0 - params.s + params.s * pr_single_popular(p_true, a2, rel_popularity) / denominator
+    )
+    bwd = math.log(
+        1.0 - params.s + params.s * pr_single_popular(p_true, a1, rel_popularity) / denominator
+    )
+    return fwd, bwd
+
+
+def estimate_relative_popularity(
+    dataset: Dataset,
+    probabilities: Sequence[float],
+    params: CopyParams,
+) -> list[float]:
+    """Estimate ``rho(v)`` per value id from observed provider counts.
+
+    Within each item, a value's share of the *false* provider mass is
+    ``w(v) = |providers(v)| * (1 - P(v))``, Laplace-smoothed so each of
+    the item's ``n`` false slots keeps one pseudo-count:
+
+        pop(v) = (w(v) + 1) / (sum_w + n),     rho(v) = n * pop(v).
+
+    Values never provided falsely get rho slightly below 1; heavily
+    repeated false values get rho well above 1.
+    """
+    weights = [0.0] * dataset.n_values
+    totals = [0.0] * dataset.n_items
+    for value_id, providers in enumerate(dataset.providers):
+        w = len(providers) * (1.0 - probabilities[value_id])
+        weights[value_id] = w
+        totals[dataset.value_item[value_id]] += w
+    n = params.n
+    return [
+        n * (weights[value_id] + 1.0) / (totals[dataset.value_item[value_id]] + n)
+        for value_id in range(dataset.n_values)
+    ]
+
+
+def detect_pairwise_popular(
+    dataset: Dataset,
+    probabilities: Sequence[float],
+    accuracies: Sequence[float],
+    params: CopyParams,
+    rel_popularity: Sequence[float] | None = None,
+) -> DetectionResult:
+    """Exhaustive detection under the popularity-aware model.
+
+    Args:
+        dataset: the claims.
+        probabilities: ``P(D.v)`` per value id.
+        accuracies: ``A(S)`` per source id.
+        params: model parameters.
+        rel_popularity: ``rho(v)`` per value id; estimated from the data
+            when omitted.
+
+    Returns:
+        A :class:`DetectionResult` (method ``"pairwise-popular"``).
+    """
+    if rel_popularity is None:
+        rel_popularity = estimate_relative_popularity(
+            dataset, probabilities, params
+        )
+    if len(rel_popularity) != dataset.n_values:
+        raise ValueError(
+            f"need one popularity per value "
+            f"({len(rel_popularity)} != {dataset.n_values})"
+        )
+    cost = CostCounter()
+    decisions: dict[tuple[int, int], PairDecision] = {}
+    ln_diff = params.ln_one_minus_s
+    claims = dataset.claims
+
+    for s1 in range(dataset.n_sources):
+        claim1 = claims[s1]
+        for s2 in range(s1 + 1, dataset.n_sources):
+            claim2 = claims[s2]
+            cost.pairs_considered += 1
+            small, large = (
+                (claim2, claim1) if len(claim2) < len(claim1) else (claim1, claim2)
+            )
+            c_fwd = c_bwd = 0.0
+            shared = 0
+            for item_id, value_id in small.items():
+                other = large.get(item_id)
+                if other is None:
+                    continue
+                shared += 1
+                cost.value_incidence()
+                cost.score_update(2)
+                if other == value_id:
+                    fwd, bwd = same_value_scores_popular(
+                        probabilities[value_id],
+                        accuracies[s1],
+                        accuracies[s2],
+                        rel_popularity[value_id],
+                        params,
+                    )
+                    c_fwd += fwd
+                    c_bwd += bwd
+                else:
+                    c_fwd += ln_diff
+                    c_bwd += ln_diff
+            if shared == 0:
+                continue
+            post = posterior(c_fwd, c_bwd, params)
+            decisions[(s1, s2)] = PairDecision(
+                c_fwd=c_fwd,
+                c_bwd=c_bwd,
+                posterior=post,
+                copying=post.copying,
+                early=False,
+            )
+
+    return DetectionResult(
+        method="pairwise-popular",
+        n_sources=dataset.n_sources,
+        decisions=decisions,
+        cost=cost,
+    )

@@ -1,0 +1,34 @@
+"""Data model: datasets, claims, gold standards, and CSV persistence."""
+
+from .dataset import Dataset, DatasetBuilder, DatasetStats
+from .goldstandard import GoldStandard
+from .loader import load_claims, load_gold, save_claims, save_gold
+from .examples import (
+    MOTIVATING_ACCURACIES,
+    MOTIVATING_COPY_PAIRS,
+    MOTIVATING_TRUTHS,
+    MOTIVATING_VALUE_PROBABILITIES,
+    motivating_accuracies,
+    motivating_example,
+    motivating_gold,
+    motivating_value_probabilities,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetBuilder",
+    "DatasetStats",
+    "GoldStandard",
+    "load_claims",
+    "load_gold",
+    "save_claims",
+    "save_gold",
+    "MOTIVATING_ACCURACIES",
+    "MOTIVATING_COPY_PAIRS",
+    "MOTIVATING_TRUTHS",
+    "MOTIVATING_VALUE_PROBABILITIES",
+    "motivating_accuracies",
+    "motivating_example",
+    "motivating_gold",
+    "motivating_value_probabilities",
+]

@@ -1,0 +1,127 @@
+"""The paper's motivating example (Table I) as a ready-made dataset.
+
+Ten sources describe the capitals of five US states.  Sources S2-S4 copy
+from each other, as do S6-S8.  The example is used throughout the paper
+(Examples 2.1, 3.3, 3.6, 4.2, 5.1, 5.2 and Tables I-IV); our test suite
+checks the library's numbers against every worked figure in those
+examples, so this module reproduces the data exactly.
+"""
+
+from __future__ import annotations
+
+from .dataset import Dataset, DatasetBuilder
+from .goldstandard import GoldStandard
+
+#: Source accuracies from Table I, column "Accu".
+MOTIVATING_ACCURACIES: dict[str, float] = {
+    "S0": 0.99,
+    "S1": 0.99,
+    "S2": 0.2,
+    "S3": 0.2,
+    "S4": 0.4,
+    "S5": 0.6,
+    "S6": 0.01,
+    "S7": 0.25,
+    "S8": 0.2,
+    "S9": 0.99,
+}
+
+#: Claims from Table I.  ``None`` marks a missing value.
+_TABLE_I: dict[str, tuple[str | None, ...]] = {
+    #        NJ          AZ         NY         FL         TX
+    "S0": ("Trenton", "Phoenix", "Albany", None, "Austin"),
+    "S1": ("Trenton", "Phoenix", "Albany", "Orlando", "Austin"),
+    "S2": ("Atlantic", "Phoenix", "NewYork", "Miami", "Houston"),
+    "S3": ("Atlantic", "Phoenix", "NewYork", "Miami", "Arlington"),
+    "S4": ("Atlantic", "Phoenix", "NewYork", "Orlando", "Houston"),
+    "S5": ("Union", "Tempe", "Albany", "Orlando", "Austin"),
+    "S6": (None, "Tempe", "Buffalo", "PalmBay", "Dallas"),
+    "S7": ("Trenton", None, "Buffalo", "PalmBay", "Dallas"),
+    "S8": ("Trenton", "Tucson", "Buffalo", "PalmBay", "Dallas"),
+    "S9": ("Trenton", None, None, "Orlando", "Austin"),
+}
+
+_ITEMS = ("NJ", "AZ", "NY", "FL", "TX")
+
+#: The values the example treats as true (non-italic in Table I).
+MOTIVATING_TRUTHS: dict[str, str] = {
+    "NJ": "Trenton",
+    "AZ": "Phoenix",
+    "NY": "Albany",
+    "FL": "Orlando",
+    "TX": "Austin",
+}
+
+#: Value probabilities from Table III ("assuming knowledge of value
+#: probability").  Keys are ``item.value``.  Values provided by a single
+#: source do not appear in the index; they are assigned the probability
+#: below when the full claim set needs probabilities (e.g. for PAIRWISE).
+MOTIVATING_VALUE_PROBABILITIES: dict[str, float] = {
+    "AZ.Tempe": 0.02,
+    "NJ.Atlantic": 0.01,
+    "TX.Houston": 0.02,
+    "NY.NewYork": 0.02,
+    "TX.Dallas": 0.02,
+    "NY.Buffalo": 0.04,
+    "FL.PalmBay": 0.05,
+    "FL.Miami": 0.03,
+    "AZ.Phoenix": 0.95,
+    "NJ.Trenton": 0.97,
+    "FL.Orlando": 0.92,
+    "NY.Albany": 0.94,
+    "TX.Austin": 0.96,
+}
+
+#: Probability assigned to singleton values (NJ.Union, AZ.Tucson,
+#: TX.Arlington) which Table III omits.  Copy-detection results never
+#: depend on it (singletons are never shared) but fusion code needs a
+#: complete probability vector.
+SINGLETON_PROBABILITY = 0.02
+
+#: The copying relationships planted in the example (unordered pairs).
+MOTIVATING_COPY_PAIRS: frozenset[frozenset[str]] = frozenset(
+    frozenset(p)
+    for p in [
+        ("S2", "S3"),
+        ("S2", "S4"),
+        ("S3", "S4"),
+        ("S6", "S7"),
+        ("S6", "S8"),
+        ("S7", "S8"),
+    ]
+)
+
+
+def motivating_example() -> Dataset:
+    """Build the Table I dataset (10 sources, 5 items, 16 distinct values)."""
+    builder = DatasetBuilder()
+    for source, row in _TABLE_I.items():
+        builder.ensure_source(source)
+        for item, value in zip(_ITEMS, row):
+            if value is not None:
+                builder.add(source, item, value)
+    return builder.build()
+
+
+def motivating_accuracies(dataset: Dataset) -> list[float]:
+    """Return Table I accuracies aligned with the dataset's source ids."""
+    return [MOTIVATING_ACCURACIES[name] for name in dataset.source_names]
+
+
+def motivating_value_probabilities(dataset: Dataset) -> list[float]:
+    """Return Table III value probabilities aligned with value ids."""
+    probabilities = []
+    for value_id in range(dataset.n_values):
+        item = dataset.item_names[dataset.value_item[value_id]]
+        label = dataset.value_label[value_id]
+        probabilities.append(
+            MOTIVATING_VALUE_PROBABILITIES.get(
+                f"{item}.{label}", SINGLETON_PROBABILITY
+            )
+        )
+    return probabilities
+
+
+def motivating_gold() -> GoldStandard:
+    """Return the example's intended truths as a gold standard."""
+    return GoldStandard(truths=dict(MOTIVATING_TRUTHS))

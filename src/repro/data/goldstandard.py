@@ -1,0 +1,73 @@
+"""Gold standards: item -> true value mappings used to score truth finding.
+
+The paper evaluates *fusion accuracy* against small manually-verified gold
+standards (verified author lists for Book-CS, a majority vote of five
+authoritative sites for Stock-1day).  Our synthetic generators emit the
+planted ground truth in the same form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dataset import Dataset
+
+
+@dataclass(frozen=True)
+class GoldStandard:
+    """A mapping from item name to the (single) true value label.
+
+    The gold standard may cover only a subset of items — the paper's gold
+    standards cover 100-200 items out of thousands.
+    """
+
+    truths: dict[str, str]
+
+    def __len__(self) -> int:
+        return len(self.truths)
+
+    def __contains__(self, item: str) -> bool:
+        return item in self.truths
+
+    def true_value_ids(self, dataset: Dataset) -> dict[int, int | None]:
+        """Resolve the gold standard against a dataset's interned ids.
+
+        Returns a mapping ``item_id -> value_id`` for every gold item that
+        appears in the dataset.  If the true value was never claimed by any
+        source, the value id is ``None`` (no source can be right — the
+        fusion result for that item is counted as wrong).
+        """
+        item_ids = {name: i for i, name in enumerate(dataset.item_names)}
+        value_ids = {
+            (dataset.value_item[v], dataset.value_label[v]): v
+            for v in range(dataset.n_values)
+        }
+        resolved: dict[int, int | None] = {}
+        for item_name, value_label in self.truths.items():
+            item_id = item_ids.get(item_name)
+            if item_id is None:
+                continue
+            resolved[item_id] = value_ids.get((item_id, value_label))
+        return resolved
+
+    def accuracy_of(self, dataset: Dataset, chosen: dict[int, int]) -> float:
+        """Fraction of gold items on which ``chosen`` picks the true value.
+
+        Args:
+            dataset: the dataset the ids refer to.
+            chosen: mapping ``item_id -> value_id`` produced by a fusion
+                algorithm (see :mod:`repro.fusion`).
+
+        Returns:
+            Fusion accuracy in ``[0, 1]``; ``0.0`` if no gold item appears
+            in the dataset.
+        """
+        resolved = self.true_value_ids(dataset)
+        if not resolved:
+            return 0.0
+        correct = sum(
+            1
+            for item_id, true_vid in resolved.items()
+            if true_vid is not None and chosen.get(item_id) == true_vid
+        )
+        return correct / len(resolved)

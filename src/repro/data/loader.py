@@ -1,0 +1,94 @@
+"""CSV persistence for datasets and gold standards.
+
+Formats follow the layout of the public fusion datasets
+(http://lunadong.com/fusionDataSets.htm) reduced to the essentials:
+
+* claims file — one ``source,item,value`` row per claim (header required);
+* gold file — one ``item,value`` row per known truth (header required).
+
+Values may contain commas; files are standard RFC-4180 CSV handled by the
+:mod:`csv` module.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from .dataset import Dataset, DatasetBuilder
+from .goldstandard import GoldStandard
+
+_CLAIMS_HEADER = ["source", "item", "value"]
+_GOLD_HEADER = ["item", "value"]
+
+
+def load_claims(path: str | Path) -> Dataset:
+    """Load a claims CSV file into a :class:`Dataset`.
+
+    Raises:
+        ValueError: if the header row is missing or malformed.
+    """
+    builder = DatasetBuilder()
+    with open(path, newline="", encoding="utf-8") as f:
+        reader = csv.reader(f)
+        header = next(reader, None)
+        if header is None or [h.strip().lower() for h in header] != _CLAIMS_HEADER:
+            raise ValueError(
+                f"{path}: expected header {_CLAIMS_HEADER!r}, got {header!r}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise ValueError(f"{path}:{lineno}: expected 3 columns, got {len(row)}")
+            source, item, value = row
+            builder.add(source, item, value)
+    return builder.build()
+
+
+def save_claims(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset to a claims CSV file (inverse of :func:`load_claims`)."""
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(_CLAIMS_HEADER)
+        for source_id, item_id, value_id in dataset.iter_claims():
+            writer.writerow(
+                [
+                    dataset.source_names[source_id],
+                    dataset.item_names[item_id],
+                    dataset.value_label[value_id],
+                ]
+            )
+
+
+def load_gold(path: str | Path) -> GoldStandard:
+    """Load a gold-standard CSV file.
+
+    Raises:
+        ValueError: if the header row is missing or malformed.
+    """
+    truths: dict[str, str] = {}
+    with open(path, newline="", encoding="utf-8") as f:
+        reader = csv.reader(f)
+        header = next(reader, None)
+        if header is None or [h.strip().lower() for h in header] != _GOLD_HEADER:
+            raise ValueError(
+                f"{path}: expected header {_GOLD_HEADER!r}, got {header!r}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 2:
+                raise ValueError(f"{path}:{lineno}: expected 2 columns, got {len(row)}")
+            item, value = row
+            truths[item] = value
+    return GoldStandard(truths=truths)
+
+
+def save_gold(gold: GoldStandard, path: str | Path) -> None:
+    """Write a gold standard to CSV (inverse of :func:`load_gold`)."""
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(_GOLD_HEADER)
+        for item, value in gold.truths.items():
+            writer.writerow([item, value])

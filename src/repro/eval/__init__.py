@@ -1,0 +1,34 @@
+"""Evaluation harness: metrics, per-method runners, table rendering."""
+
+from .metrics import (
+    PrecisionRecall,
+    accuracy_variance,
+    fusion_difference,
+    pair_quality,
+)
+from .report import improvement, render_table
+from .runner import (
+    RUNNER_METHODS,
+    MethodRun,
+    QualityReport,
+    quality_vs_reference,
+    run_method,
+)
+from .suite import DEFAULT_METHODS, SuiteResult, run_suite
+
+__all__ = [
+    "DEFAULT_METHODS",
+    "MethodRun",
+    "PrecisionRecall",
+    "QualityReport",
+    "RUNNER_METHODS",
+    "accuracy_variance",
+    "fusion_difference",
+    "improvement",
+    "pair_quality",
+    "quality_vs_reference",
+    "SuiteResult",
+    "render_table",
+    "run_method",
+    "run_suite",
+]

@@ -1,0 +1,92 @@
+"""Quality metrics of Section VI-A.
+
+Copy-detection correctness is measured *against PAIRWISE* (the exhaustive
+reference), not against planted truth — the scalable methods are
+approximations of PAIRWISE and the paper quantifies exactly that gap:
+
+* precision — of the method's copying pairs, the fraction PAIRWISE also
+  outputs;
+* recall — of PAIRWISE's copying pairs, the fraction the method outputs;
+* F-measure — their harmonic mean.
+
+Truth-finding correctness:
+
+* fusion accuracy — fraction of gold-standard items fused correctly;
+* fusion difference — fraction of items where the method's fused value
+  differs from PAIRWISE's;
+* accuracy variance — mean absolute difference between the source
+  accuracies computed with the method vs with PAIRWISE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Precision / recall / F-measure triple."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f_measure(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+
+def pair_quality(
+    reference: Iterable[tuple[int, int]],
+    candidate: Iterable[tuple[int, int]],
+) -> PrecisionRecall:
+    """Compare two sets of copying pairs (sorted source-id tuples).
+
+    Conventions for empty sets follow the usual information-retrieval
+    definitions: empty candidate means precision 1 (nothing wrong was
+    claimed); empty reference means recall 1.
+    """
+    ref = set(reference)
+    cand = set(candidate)
+    hit = len(ref & cand)
+    precision = hit / len(cand) if cand else 1.0
+    recall = hit / len(ref) if ref else 1.0
+    return PrecisionRecall(precision=precision, recall=recall)
+
+
+def fusion_difference(
+    reference: Mapping[int, int],
+    candidate: Mapping[int, int],
+) -> float:
+    """Fraction of items fused differently from the reference.
+
+    Items present in only one mapping count as differences.
+    """
+    items = set(reference) | set(candidate)
+    if not items:
+        return 0.0
+    differing = sum(
+        1 for item in items if reference.get(item) != candidate.get(item)
+    )
+    return differing / len(items)
+
+
+def accuracy_variance(
+    reference: Sequence[float],
+    candidate: Sequence[float],
+) -> float:
+    """Mean absolute difference between two source-accuracy vectors.
+
+    Raises:
+        ValueError: if the vectors have different lengths.
+    """
+    if len(reference) != len(candidate):
+        raise ValueError(
+            f"accuracy vectors differ in length ({len(reference)} != {len(candidate)})"
+        )
+    if not reference:
+        return 0.0
+    return sum(abs(a - b) for a, b in zip(reference, candidate)) / len(reference)

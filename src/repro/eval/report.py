@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints its table in the same layout the paper uses, so a run
+of ``pytest benchmarks/`` produces output directly comparable with
+Tables V-X and Figures 2-3.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render an ASCII table with a title line.
+
+    Floats are shown with 3 significant decimals; everything else via
+    ``str``.
+    """
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(rule)
+    for row in formatted:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.3f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def improvement(baseline: float, value: float) -> float:
+    """Relative time improvement, the paper's Table VII convention.
+
+    ``1 - value/baseline``: 0.99 means 99% faster than the baseline.
+    Returns NaN when the baseline is zero.
+    """
+    if baseline == 0.0:
+        return float("nan")
+    return 1.0 - value / baseline

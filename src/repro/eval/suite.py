@@ -1,0 +1,123 @@
+"""One-call experiment suite: every paper table from a single entry point.
+
+``pytest benchmarks/`` is the canonical harness (it times, asserts the
+paper's shape claims, and archives outputs), but a library user who just
+wants "run the evaluation on *my* dataset" shouldn't need pytest.
+:func:`run_suite` executes the method grid on one dataset and returns the
+Table VI/VII-style rows; the CLI exposes it as ``python -m repro bench``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core import CopyParams
+from ..data import Dataset, GoldStandard
+from .report import render_table
+from .runner import MethodRun, quality_vs_reference, run_method
+
+#: The default method grid (Table VI/VII rows).
+DEFAULT_METHODS = (
+    "pairwise",
+    "sample1",
+    "index",
+    "hybrid",
+    "incremental",
+    "scalesample",
+)
+
+
+@dataclass
+class SuiteResult:
+    """Everything :func:`run_suite` measured on one dataset."""
+
+    runs: dict[str, MethodRun] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def quality_rows(
+        self, dataset: Dataset, gold: GoldStandard | None
+    ) -> list[list[object]]:
+        """Table VI-style rows, referenced to the suite's PAIRWISE run."""
+        reference = self.runs.get("pairwise")
+        if reference is None:
+            raise ValueError("the suite must include 'pairwise' to score quality")
+        rows = []
+        for name, run in self.runs.items():
+            q = quality_vs_reference(run, reference, dataset, gold)
+            rows.append(
+                [
+                    name,
+                    q.copy_quality.precision,
+                    q.copy_quality.recall,
+                    q.copy_quality.f_measure,
+                    q.fusion_accuracy,
+                    q.fusion_diff,
+                ]
+            )
+        return rows
+
+    def time_rows(self) -> list[list[object]]:
+        """Table VII-style rows."""
+        return [
+            [
+                name,
+                run.detection_seconds,
+                run.computations,
+                run.rounds,
+                len(run.copying_pairs()),
+            ]
+            for name, run in self.runs.items()
+        ]
+
+    def render(self, dataset: Dataset, gold: GoldStandard | None = None) -> str:
+        """Both tables as one printable report."""
+        parts = [
+            render_table(
+                "Copy-detection quality (vs PAIRWISE)",
+                ["method", "prec", "rec", "F", "fusion acc", "fusion diff"],
+                self.quality_rows(dataset, gold),
+            ),
+            "",
+            render_table(
+                "Detection cost",
+                ["method", "detect s", "computations", "rounds", "copying"],
+                self.time_rows(),
+            ),
+        ]
+        return "\n".join(parts)
+
+
+def run_suite(
+    dataset: Dataset,
+    params: CopyParams | None = None,
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    sample_fraction: float = 0.1,
+    seed: int = 0,
+) -> SuiteResult:
+    """Run the method grid on one dataset.
+
+    Args:
+        dataset: the claims.
+        params: model parameters (paper defaults if omitted).
+        methods: which of :data:`repro.eval.RUNNER_METHODS` to run;
+            include ``"pairwise"`` if quality scoring is wanted.
+        sample_fraction: nominal rate for the sampled methods.
+        seed: sampling seed.
+
+    Returns:
+        A :class:`SuiteResult` keyed by method name.
+    """
+    params = params or CopyParams()
+    result = SuiteResult()
+    start = time.perf_counter()
+    for method in methods:
+        result.runs[method] = run_method(
+            method,
+            dataset,
+            params,
+            sample_fraction=sample_fraction,
+            seed=seed,
+        )
+    result.wall_seconds = time.perf_counter() - start
+    return result

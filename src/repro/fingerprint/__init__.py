@@ -1,0 +1,27 @@
+"""Text copy-detection baselines: Q-grams, sketches, winnowing, dSCAM."""
+
+from .document_copy import (
+    DocumentMatch,
+    detect_document_copies,
+    serialize_source,
+)
+from .sketches import (
+    brin_chunks,
+    mod_k_sketch,
+    qgram_fingerprints,
+    sketch_containment,
+    sketch_resemblance,
+    winnow,
+)
+
+__all__ = [
+    "DocumentMatch",
+    "brin_chunks",
+    "detect_document_copies",
+    "mod_k_sketch",
+    "qgram_fingerprints",
+    "serialize_source",
+    "sketch_containment",
+    "sketch_resemblance",
+    "winnow",
+]

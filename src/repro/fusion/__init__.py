@@ -1,0 +1,32 @@
+"""Truth finding (data fusion): VOTE, ACCU, and the ACCUCOPY loop."""
+
+from .accu import (
+    accuracy_score,
+    choose_values,
+    independence_weights,
+    update_accuracies,
+    value_probabilities,
+)
+from .pipeline import (
+    FusionConfig,
+    FusionResult,
+    RoundDetector,
+    RoundRecord,
+    run_fusion,
+)
+from .voting import vote, vote_probabilities
+
+__all__ = [
+    "FusionConfig",
+    "FusionResult",
+    "RoundDetector",
+    "RoundRecord",
+    "accuracy_score",
+    "choose_values",
+    "independence_weights",
+    "run_fusion",
+    "update_accuracies",
+    "value_probabilities",
+    "vote",
+    "vote_probabilities",
+]

@@ -1,0 +1,145 @@
+"""ACCU / ACCUCOPY value probabilities and source accuracies.
+
+This is the truth-finding model of Dong, Berti-Equille & Srivastava
+(VLDB 2009) that the paper plugs its detectors into:
+
+* Each source ``S`` has an *accuracy score* ``A'(S) = ln(n A(S) / (1-A(S)))``
+  — the log-odds of providing a truth, normalised by the ``n`` uniformly
+  distributed false values.
+* The *vote count* of a value is the sum of its providers' accuracy
+  scores; with copy detection enabled, each provider's score is discounted
+  by the probability that it provided the value *independently* rather
+  than copying it from a higher-ranked co-provider (ACCUCOPY).
+* Value probabilities follow a softmax over the item's value domain: the
+  observed values' vote counts compete against the remaining unobserved
+  domain values, each of which carries a neutral vote count of 0.
+* A source's accuracy is then re-estimated as the mean probability of the
+  values it provides.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.params import CopyParams
+from ..core.result import DetectionResult
+from ..data import Dataset
+
+
+def accuracy_score(accuracy: float, params: CopyParams) -> float:
+    """``A'(S) = ln(n A / (1 - A))`` with the standard clamp applied."""
+    a = params.clamp_accuracy(accuracy)
+    return math.log(params.n * a / (1.0 - a))
+
+
+def independence_weights(
+    providers: Sequence[int],
+    accuracies: Sequence[float],
+    detection: DetectionResult,
+    params: CopyParams,
+) -> list[float]:
+    """ACCUCOPY's per-provider discount for one value.
+
+    Providers are ranked by accuracy (descending); provider ``S`` keeps
+    the fraction of its vote equal to the probability that it did *not*
+    copy the value from any higher-ranked co-provider:
+
+        I(S) = prod_{S' ranked above S} (1 - s * Pr(S -> S' | Phi)).
+
+    Returns weights aligned with the input ``providers`` order.
+    """
+    ranked = sorted(range(len(providers)), key=lambda i: -accuracies[providers[i]])
+    weights = [1.0] * len(providers)
+    for rank, idx in enumerate(ranked):
+        copier = providers[idx]
+        weight = 1.0
+        for earlier in ranked[:rank]:
+            original = providers[earlier]
+            p_copy = detection.copy_probability(copier, original)
+            if p_copy > 0.0:
+                weight *= 1.0 - params.s * p_copy
+        weights[idx] = weight
+    return weights
+
+
+def value_probabilities(
+    dataset: Dataset,
+    accuracies: Sequence[float],
+    params: CopyParams,
+    detection: DetectionResult | None = None,
+) -> list[float]:
+    """Compute ``P(D.v)`` for every value id.
+
+    Args:
+        dataset: the claims.
+        accuracies: current ``A(S)`` per source.
+        params: model parameters (``n`` sizes the false-value domain).
+        detection: a detection result to discount copied votes with
+            (ACCUCOPY); plain ACCU when omitted.
+
+    Returns:
+        Probability per value id.  Probabilities of the values of one item
+        sum to at most 1 (the remainder is the unobserved false values'
+        share of the domain).
+    """
+    scores = [accuracy_score(a, params) for a in accuracies]
+    vote_counts = [0.0] * dataset.n_values
+    for value_id, providers in enumerate(dataset.providers):
+        if detection is not None and len(providers) >= 2:
+            weights = independence_weights(providers, accuracies, detection, params)
+        else:
+            weights = None
+        count = 0.0
+        for position, source in enumerate(providers):
+            weight = weights[position] if weights is not None else 1.0
+            count += scores[source] * weight
+        vote_counts[value_id] = count
+
+    item_values = dataset.item_value_table()
+    probabilities = [0.0] * dataset.n_values
+    for values in item_values:
+        if not values:
+            continue
+        counts = [vote_counts[v] for v in values]
+        # Unobserved domain values: the item's domain holds the true value
+        # plus n false ones; each unobserved value votes e^0 = 1.
+        n_unobserved = max(params.n + 1 - len(values), 0)
+        shift = max(max(counts), 0.0)
+        denominator = n_unobserved * math.exp(-shift) + sum(
+            math.exp(c - shift) for c in counts
+        )
+        for value_id, count in zip(values, counts):
+            probabilities[value_id] = math.exp(count - shift) / denominator
+    return probabilities
+
+
+def update_accuracies(
+    dataset: Dataset,
+    probabilities: Sequence[float],
+    params: CopyParams,
+) -> list[float]:
+    """Re-estimate ``A(S)`` as the mean probability of S's claimed values.
+
+    Sources with no claims keep a neutral accuracy of 0.5.  Results are
+    clamped into the model's valid range.
+    """
+    accuracies = []
+    for claim in dataset.claims:
+        if not claim:
+            accuracies.append(0.5)
+            continue
+        mean = sum(probabilities[value_id] for value_id in claim.values()) / len(claim)
+        accuracies.append(params.clamp_accuracy(mean))
+    return accuracies
+
+
+def choose_values(dataset: Dataset, probabilities: Sequence[float]) -> dict[int, int]:
+    """Pick the highest-probability value per item (ties: lowest value id)."""
+    best: dict[int, tuple[float, int]] = {}
+    for value_id in range(dataset.n_values):
+        item_id = dataset.value_item[value_id]
+        key = (-probabilities[value_id], value_id)
+        if item_id not in best or key < best[item_id]:
+            best[item_id] = key
+    return {item: value for item, (_, value) in best.items()}

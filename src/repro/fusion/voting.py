@@ -1,0 +1,45 @@
+"""Naive voting — the simplest truth-finding baseline.
+
+Each source casts one equal vote per claim; the value with the most votes
+wins its item.  Li et al. (VLDB 2013) showed voting fixes none of the
+copying-induced errors that the accuracy- and copying-aware models below
+repair; it is included as the floor every other fuser is measured against.
+"""
+
+from __future__ import annotations
+
+from ..data import Dataset
+
+
+def vote(dataset: Dataset) -> dict[int, int]:
+    """Pick the most-provided value per item.
+
+    Ties break toward the lowest value id (deterministic).
+
+    Returns:
+        Mapping ``item_id -> winning value_id`` for every claimed item.
+    """
+    best: dict[int, tuple[int, int]] = {}  # item -> (-votes, value_id)
+    providers = dataset.providers
+    for value_id, provider_list in enumerate(providers):
+        item_id = dataset.value_item[value_id]
+        key = (-len(provider_list), value_id)
+        if item_id not in best or key < best[item_id]:
+            best[item_id] = key
+    return {item: value for item, (_, value) in best.items()}
+
+
+def vote_probabilities(dataset: Dataset) -> list[float]:
+    """Vote shares as pseudo-probabilities (per value id).
+
+    ``P(v) = votes(v) / votes(item)`` — useful as a copy-detection input
+    when no accuracy model is wanted.
+    """
+    totals = [0] * dataset.n_items
+    for value_id, provider_list in enumerate(dataset.providers):
+        totals[dataset.value_item[value_id]] += len(provider_list)
+    probabilities = []
+    for value_id, provider_list in enumerate(dataset.providers):
+        total = totals[dataset.value_item[value_id]]
+        probabilities.append(len(provider_list) / total if total else 0.0)
+    return probabilities

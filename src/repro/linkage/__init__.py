@@ -1,0 +1,15 @@
+"""Record linkage on the paper's indexed weighted-evidence machinery."""
+
+from .linker import (
+    LinkageConfig,
+    LinkageResult,
+    LinkDecision,
+    link_records,
+)
+
+__all__ = [
+    "LinkDecision",
+    "LinkageConfig",
+    "LinkageResult",
+    "link_records",
+]

@@ -1,0 +1,12 @@
+"""Fagin's NRA top-k algorithm and the FAGININPUT copy-detection baseline."""
+
+from .fagin_input import FaginInput, build_fagin_input, top_k_copying
+from .nra import TopKResult, nra_topk
+
+__all__ = [
+    "FaginInput",
+    "TopKResult",
+    "build_fagin_input",
+    "nra_topk",
+    "top_k_copying",
+]

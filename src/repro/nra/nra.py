@@ -1,0 +1,177 @@
+"""Fagin's NRA (No Random Access) top-k algorithm (PODS 2001).
+
+NRA finds the k objects with the highest aggregate score over ``m`` sorted
+lists, reading the lists strictly top-down (sorted access only).  For each
+object seen so far it maintains
+
+* a lower bound — the sum of the scores actually seen, plus the *minimum
+  possible* contribution of the lists it has not appeared in yet; and
+* an upper bound — seen scores plus each unseen list's current frontier.
+
+It stops when the k-th best lower bound is at least every other
+candidate's upper bound.
+
+The paper explored NRA for copy detection (Section II-B): one list per
+index entry holding pair contributions, plus one list of different-value
+penalties; ``C->`` of a pair is the sum over all lists.  The experiments
+show that merely *building* those lists (:mod:`repro.nra.fagin_input`)
+costs more than the paper's own detectors — this module exists to
+reproduce that comparison and to serve as a stand-alone top-k utility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Result of an NRA run.
+
+    Attributes:
+        items: the top-k ``(object, lower_bound)`` pairs, best first.
+        sorted_accesses: total number of list positions read.
+        resolved: False when the lists were exhausted before the stopping
+            condition held with ``k`` distinct objects (fewer objects than
+            ``k`` exist); the returned items are still correct.
+    """
+
+    items: list[tuple[Hashable, float]]
+    sorted_accesses: int
+    resolved: bool
+
+
+def nra_topk(
+    lists: Sequence[Sequence[tuple[Hashable, float]]],
+    k: int,
+    missing_score: float = 0.0,
+) -> TopKResult:
+    """Run NRA over descending-sorted lists with sum aggregation.
+
+    Args:
+        lists: each a sequence of ``(object, score)`` sorted by score
+            descending.  An object appears at most once per list.
+        k: how many top objects to return.
+        missing_score: score contributed by a list an object never appears
+            in (0 for optional lists; the classical formulation assumes
+            every object is in every list).
+
+    Lists may contain negative scores (the copy-detection difference list
+    does); an object's lower bound then assumes it sits at the *bottom* of
+    every list it has not been seen in — per-list floors are taken from
+    each list's final element.
+
+    Returns:
+        A :class:`TopKResult`; ``items`` are ordered by lower bound.
+
+    Raises:
+        ValueError: if ``k < 1`` or a list is not sorted descending.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    m = len(lists)
+    for lst in lists:
+        for a, b in zip(lst, lst[1:]):
+            if a[1] < b[1]:
+                raise ValueError("lists must be sorted by score descending")
+    # The worst an unseen object can get from a list: its bottom score if
+    # that is below the missing score, else the missing score itself.
+    floors = [
+        min(lst[-1][1], missing_score) if lst else missing_score for lst in lists
+    ]
+
+    # partial[obj] = (sum of seen scores, set of list ids seen)
+    partial: dict[Hashable, tuple[float, set[int]]] = {}
+    frontier = [lst[0][1] if lst else missing_score for lst in lists]
+    exhausted = [not lst for lst in lists]
+    depth = 0
+    accesses = 0
+
+    while True:
+        progressed = False
+        for list_id, lst in enumerate(lists):
+            if depth >= len(lst):
+                # A fully-read list contributes exactly missing_score to
+                # any object it never named — tighten bounds accordingly.
+                exhausted[list_id] = True
+                frontier[list_id] = missing_score
+                floors[list_id] = missing_score
+                continue
+            progressed = True
+            accesses += 1
+            obj, score = lst[depth]
+            total, seen = partial.get(obj, (0.0, set()))
+            seen = set(seen)
+            seen.add(list_id)
+            partial[obj] = (total + score, seen)
+            frontier[list_id] = score
+        depth += 1
+
+        if partial:
+            # Best total an object never seen so far could still reach: it
+            # may appear at (or below) every live list's frontier.
+            unseen_upper = sum(
+                missing_score
+                if exhausted[list_id]
+                else max(frontier[list_id], missing_score)
+                for list_id in range(m)
+            )
+            result = _try_stop(
+                partial, frontier, floors, unseen_upper, m, k, missing_score
+            )
+            if result is not None:
+                return TopKResult(
+                    items=result, sorted_accesses=accesses, resolved=True
+                )
+        if not progressed:
+            ranked = sorted(
+                (
+                    (obj, _lower_bound(total, seen, floors, missing_score))
+                    for obj, (total, seen) in partial.items()
+                ),
+                key=lambda pair: -pair[1],
+            )
+            return TopKResult(
+                items=ranked[:k], sorted_accesses=accesses, resolved=False
+            )
+
+
+def _lower_bound(
+    total: float, seen: set[int], floors: list[float], missing_score: float
+) -> float:
+    return total + sum(
+        min(floors[list_id], 0.0)
+        for list_id in range(len(floors))
+        if list_id not in seen
+    )
+
+
+def _try_stop(
+    partial: dict[Hashable, tuple[float, set[int]]],
+    frontier: list[float],
+    floors: list[float],
+    unseen_upper: float,
+    m: int,
+    k: int,
+    missing_score: float,
+) -> list[tuple[Hashable, float]] | None:
+    """Check NRA's stopping condition; return the top-k if it holds."""
+    bounds = []
+    for obj, (total, seen) in partial.items():
+        lower = _lower_bound(total, seen, floors, missing_score)
+        upper = total + sum(
+            max(frontier[list_id], missing_score)
+            for list_id in range(m)
+            if list_id not in seen
+        )
+        bounds.append((obj, lower, upper))
+    if len(bounds) < k:
+        return None
+    bounds.sort(key=lambda row: -row[1])
+    kth_lower = bounds[k - 1][1]
+    if unseen_upper > kth_lower:
+        return None
+    if any(upper > kth_lower for _, _, upper in bounds[k:]):
+        return None
+    return [(obj, lower) for obj, lower, _ in bounds[:k]]

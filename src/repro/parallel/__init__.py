@@ -1,0 +1,15 @@
+"""Partitioned/parallel detection (the paper's Section VIII future work)."""
+
+from .engine import detect_index_parallel
+from .partition import (
+    EntryPartition,
+    partition_entries,
+    partition_weights,
+)
+
+__all__ = [
+    "EntryPartition",
+    "detect_index_parallel",
+    "partition_entries",
+    "partition_weights",
+]

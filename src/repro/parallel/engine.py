@@ -1,0 +1,210 @@
+"""Partitioned (map/reduce-style) copy detection — Section VIII realised.
+
+Each worker scans its share of index entries and emits, for every source
+pair co-occurring there, a *partial accumulator*:
+
+    (c_fwd, c_bwd, n_shared, saw_main_entry)
+
+The reducer sums partials per pair, drops pairs that never appeared in a
+non-tail entry (INDEX's skip rule), applies the different-value penalty
+``ln(1-s) * (l - n)``, and evaluates Eq. (2).  Because INDEX's score
+accumulation is a plain sum, the merged result is *bit-identical* to the
+sequential algorithm regardless of partitioning — verified by property
+tests.
+
+Executors:
+
+* ``"serial"`` — run partitions one after another in-process (the
+  deterministic reference; also what the tests use).
+* ``"threads"`` — a thread pool.  CPython's GIL serialises the pure-
+  Python math, so this demonstrates plumbing rather than speedup, but it
+  exercises real concurrency in the merge path.
+* ``"processes"`` — a process pool via :mod:`concurrent.futures`; gives
+  real parallelism for large worlds at the cost of pickling the claims
+  to each worker (the Hadoop analogue of shipping a partition to a
+  node).
+
+Early-terminating variants (BOUND) are intentionally not parallelised:
+their per-pair state is sequential by design — the paper leaves exactly
+this as future work and suggests the strong-evidence prefix as the unit
+of parallelism, which ``strategy="blocks"`` over a BY_CONTRIBUTION
+ordering provides.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from math import log
+from typing import Literal, Sequence
+
+from ..core.contribution import posterior
+from ..core.index import InvertedIndex
+from ..core.params import CopyParams
+from ..core.result import CostCounter, DetectionResult, PairDecision
+from ..data import Dataset
+from .partition import EntryPartition, PartitionStrategy, partition_entries
+
+Executor = Literal["serial", "threads", "processes"]
+
+#: partial accumulator per pair: [c_fwd, c_bwd, n_shared, saw_main]
+_Partial = dict[tuple[int, int], list[float]]
+
+
+def _scan_partition(
+    entries_payload: list[tuple[float, list[int], bool]],
+    accuracies: Sequence[float],
+    params: CopyParams,
+) -> _Partial:
+    """Map step: accumulate pair contributions over one entry share.
+
+    ``entries_payload`` carries ``(probability, providers, in_tail)``
+    triples so the function is picklable for process pools without
+    shipping the whole index.
+    """
+    clamp = params.clamp_accuracy
+    acc = [clamp(a) for a in accuracies]
+    s = params.s
+    one_minus_s = 1.0 - s
+    inv_n = 1.0 / params.n
+    partial: _Partial = {}
+    for p, providers, in_tail in entries_payload:
+        q = 1.0 - p
+        q_over_n = q * inv_n
+        k = len(providers)
+        accs = [acc[src] for src in providers]
+        nots = [1.0 - a for a in accs]
+        singles = [p * a + q * (1.0 - a) for a in accs]
+        main_flag = 0.0 if in_tail else 1.0
+        for i in range(k):
+            s1 = providers[i]
+            a1 = accs[i]
+            na1 = nots[i]
+            ps1 = singles[i]
+            for j in range(i + 1, k):
+                pair = (s1, providers[j])
+                denom = p * a1 * accs[j] + q_over_n * na1 * nots[j]
+                fwd = log(one_minus_s + s * singles[j] / denom)
+                bwd = log(one_minus_s + s * ps1 / denom)
+                cell = partial.get(pair)
+                if cell is None:
+                    partial[pair] = [fwd, bwd, 1.0, main_flag]
+                else:
+                    cell[0] += fwd
+                    cell[1] += bwd
+                    cell[2] += 1.0
+                    if main_flag:
+                        cell[3] = 1.0
+    return partial
+
+
+def _payload(index: InvertedIndex, partition: EntryPartition):
+    tail_start = index.tail_start
+    return [
+        (
+            index.entries[pos].probability,
+            index.entries[pos].providers,
+            pos >= tail_start,
+        )
+        for pos in partition.positions
+    ]
+
+
+def detect_index_parallel(
+    dataset: Dataset,
+    probabilities: Sequence[float],
+    accuracies: Sequence[float],
+    params: CopyParams,
+    n_partitions: int = 4,
+    strategy: PartitionStrategy = "stride",
+    executor: Executor = "serial",
+    index: InvertedIndex | None = None,
+) -> DetectionResult:
+    """INDEX over a partitioned scan; verdicts identical to sequential.
+
+    Args:
+        dataset: the claims.
+        probabilities: ``P(D.v)`` per value id.
+        accuracies: ``A(S)`` per source id.
+        params: model parameters.
+        n_partitions: number of entry shares (>= 1).
+        strategy: ``"stride"`` (load-balanced) or ``"blocks"``.
+        executor: ``"serial"``, ``"threads"`` or ``"processes"``.
+        index: prebuilt index to reuse.
+
+    Raises:
+        ValueError: for an unknown executor name.
+    """
+    if executor not in ("serial", "threads", "processes"):
+        raise ValueError(
+            f"unknown executor {executor!r}; expected serial/threads/processes"
+        )
+    if index is None:
+        index = InvertedIndex.build(dataset, probabilities, accuracies, params)
+    partitions = partition_entries(index, n_partitions, strategy)
+    payloads = [_payload(index, part) for part in partitions]
+
+    if executor == "serial" or n_partitions == 1:
+        partials = [_scan_partition(pl, accuracies, params) for pl in payloads]
+    elif executor == "threads":
+        with ThreadPoolExecutor(max_workers=n_partitions) as pool:
+            partials = list(
+                pool.map(lambda pl: _scan_partition(pl, accuracies, params), payloads)
+            )
+    else:
+        with ProcessPoolExecutor(max_workers=n_partitions) as pool:
+            futures = [
+                pool.submit(_scan_partition, pl, list(accuracies), params)
+                for pl in payloads
+            ]
+            partials = [f.result() for f in futures]
+
+    return _reduce(partials, index, dataset.n_sources, params)
+
+
+def _reduce(
+    partials: list[_Partial],
+    index: InvertedIndex,
+    n_sources: int,
+    params: CopyParams,
+) -> DetectionResult:
+    """Reduce step: merge partials, apply penalties, decide."""
+    merged: _Partial = {}
+    for partial in partials:
+        for pair, cell in partial.items():
+            target = merged.get(pair)
+            if target is None:
+                merged[pair] = list(cell)
+            else:
+                target[0] += cell[0]
+                target[1] += cell[1]
+                target[2] += cell[2]
+                if cell[3]:
+                    target[3] = 1.0
+
+    ln_diff = params.ln_one_minus_s
+    shared_items = index.shared_items
+    cost = CostCounter()
+    decisions: dict[tuple[int, int], PairDecision] = {}
+    for pair, (c_fwd, c_bwd, n_shared, saw_main) in merged.items():
+        cost.values_examined += int(n_shared)
+        if not saw_main:
+            continue  # tail-only pair: INDEX never opens it
+        cost.pairs_considered += 1
+        n_diff = shared_items[pair] - int(n_shared)
+        c_fwd += n_diff * ln_diff
+        c_bwd += n_diff * ln_diff
+        post = posterior(c_fwd, c_bwd, params)
+        decisions[pair] = PairDecision(
+            c_fwd=c_fwd,
+            c_bwd=c_bwd,
+            posterior=post,
+            copying=post.copying,
+            early=False,
+        )
+    cost.computations = 2 * cost.values_examined + 2 * cost.pairs_considered
+    return DetectionResult(
+        method="index-parallel",
+        n_sources=n_sources,
+        decisions=decisions,
+        cost=cost,
+    )

@@ -1,0 +1,15 @@
+"""Item-sampling strategies: BYITEM, BYCELL, and the paper's SCALESAMPLE."""
+
+from .strategies import (
+    sample_by_cell,
+    sample_by_item,
+    sampled_cell_fraction,
+    scale_sample,
+)
+
+__all__ = [
+    "sample_by_cell",
+    "sample_by_item",
+    "sampled_cell_fraction",
+    "scale_sample",
+]

@@ -1,0 +1,126 @@
+"""Sampling strategies for copy detection (Sections VI-A and VI-E).
+
+The paper compares three ways of shrinking a dataset before detection:
+
+* **BYITEM** (SAMPLE1) — sample a fraction of the data items uniformly.
+* **BYCELL** (SAMPLE2) — sample items until a target fraction of the
+  non-empty *cells* (claims) of the source x item matrix is reached;
+  since item popularity is skewed, matching a cell budget needs a
+  different number of items than matching an item budget.
+* **SCALESAMPLE** — the paper's strategy: sample a fraction of items *but
+  guarantee at least N items from every source* (default N = 4).  On
+  low-coverage data (Book-CS: 85% of sources cover <= 1% of items) naive
+  sampling leaves most sources with zero or one sampled item, destroying
+  the evidence copy detection needs; the per-source floor repairs exactly
+  that failure mode (Table IX).
+
+All strategies return the sampled item ids so callers can project the
+dataset (:meth:`repro.data.Dataset.project_items` keeps source ids
+aligned, which the quality comparisons rely on).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..data import Dataset
+
+
+def sample_by_item(
+    dataset: Dataset, fraction: float, rng: random.Random
+) -> list[int]:
+    """BYITEM / SAMPLE1: uniform sample of ``fraction`` of the items."""
+    _check_fraction(fraction)
+    item_ids = _claimed_items(dataset)
+    k = max(int(round(fraction * len(item_ids))), 1)
+    return sorted(rng.sample(item_ids, min(k, len(item_ids))))
+
+
+def sample_by_cell(
+    dataset: Dataset, cell_fraction: float, rng: random.Random
+) -> list[int]:
+    """BYCELL / SAMPLE2: add random items until the cell budget is met.
+
+    Items are drawn uniformly without replacement and accumulated until
+    the number of claims (non-empty cells) covered reaches
+    ``cell_fraction`` of the dataset's total claims.
+    """
+    _check_fraction(cell_fraction)
+    cells_per_item = [0] * dataset.n_items
+    total_cells = 0
+    for claim in dataset.claims:
+        for item_id in claim:
+            cells_per_item[item_id] += 1
+            total_cells += 1
+    budget = cell_fraction * total_cells
+    item_ids = _claimed_items(dataset)
+    rng.shuffle(item_ids)
+    chosen: list[int] = []
+    covered = 0
+    for item_id in item_ids:
+        if covered >= budget:
+            break
+        chosen.append(item_id)
+        covered += cells_per_item[item_id]
+    return sorted(chosen)
+
+
+def scale_sample(
+    dataset: Dataset,
+    fraction: float,
+    rng: random.Random,
+    min_items_per_source: int = 4,
+) -> list[int]:
+    """SCALESAMPLE: item sample with a per-source floor (the paper's N=4).
+
+    First draws a uniform ``fraction`` item sample, then tops it up so
+    every source retains at least ``min_items_per_source`` of its items
+    (or all of them, for sources smaller than the floor).  On skewed data
+    the top-up can raise the effective sampling rate well above
+    ``fraction`` — the paper reports 49% of items for Book-CS at a nominal
+    10% — which is precisely why it preserves detection quality.
+
+    Returns the sampled item ids.
+    """
+    _check_fraction(fraction)
+    if min_items_per_source < 0:
+        raise ValueError("min_items_per_source must be >= 0")
+    chosen = set(sample_by_item(dataset, fraction, rng))
+    for claim in dataset.claims:
+        if not claim:
+            continue
+        have = sum(1 for item_id in claim if item_id in chosen)
+        needed = min(min_items_per_source, len(claim)) - have
+        if needed <= 0:
+            continue
+        missing = [item_id for item_id in claim if item_id not in chosen]
+        rng.shuffle(missing)
+        chosen.update(missing[:needed])
+    return sorted(chosen)
+
+
+def sampled_cell_fraction(dataset: Dataset, item_ids: list[int]) -> float:
+    """Fraction of the dataset's claims covered by the sampled items.
+
+    Used to give BYCELL the same cell budget as a SCALESAMPLE draw, the
+    paper's fairness protocol in Table IX.
+    """
+    keep = set(item_ids)
+    total = 0
+    covered = 0
+    for claim in dataset.claims:
+        for item_id in claim:
+            total += 1
+            if item_id in keep:
+                covered += 1
+    return covered / total if total else 0.0
+
+
+def _claimed_items(dataset: Dataset) -> list[int]:
+    claimed = {item_id for claim in dataset.claims for item_id in claim}
+    return sorted(claimed)
+
+
+def _check_fraction(fraction: float) -> None:
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")

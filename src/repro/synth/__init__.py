@@ -1,0 +1,23 @@
+"""Synthetic world generation: configurable claims with planted copying."""
+
+from .generator import GeneratorConfig, SyntheticWorld, generate
+from .profiles import (
+    PROFILES,
+    book_cs,
+    book_full,
+    make_profile,
+    stock_1day,
+    stock_2wk,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "PROFILES",
+    "SyntheticWorld",
+    "book_cs",
+    "book_full",
+    "generate",
+    "make_profile",
+    "stock_1day",
+    "stock_2wk",
+]

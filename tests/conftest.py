@@ -1,0 +1,35 @@
+"""Shared fixtures: the motivating example and default parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CopyParams
+from repro.data import (
+    Dataset,
+    motivating_accuracies,
+    motivating_example,
+    motivating_value_probabilities,
+)
+
+
+@pytest.fixture(scope="session")
+def params() -> CopyParams:
+    """The paper's default parameters (alpha=.1, s=.8, n=50)."""
+    return CopyParams()
+
+
+@pytest.fixture(scope="session")
+def example() -> Dataset:
+    """The Table I motivating example."""
+    return motivating_example()
+
+
+@pytest.fixture(scope="session")
+def example_accuracies(example: Dataset) -> list[float]:
+    return motivating_accuracies(example)
+
+
+@pytest.fixture(scope="session")
+def example_probabilities(example: Dataset) -> list[float]:
+    return motivating_value_probabilities(example)

@@ -1,0 +1,57 @@
+"""Hypothesis strategies shared across property-based tests.
+
+``small_world()`` draws complete random detection problems — a dataset
+plus aligned probability and accuracy vectors — small enough that
+exhaustive reference computations (PAIRWISE, brute-force maxima) stay
+fast, but varied enough to exercise sparse/dense overlap, ties, missing
+values, and extreme probabilities.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.data import Dataset, DatasetBuilder
+
+probabilities = st.floats(min_value=0.001, max_value=0.999)
+accuracies = st.floats(min_value=0.01, max_value=0.99)
+
+
+@st.composite
+def datasets(
+    draw,
+    max_sources: int = 8,
+    max_items: int = 12,
+    max_values_per_item: int = 4,
+) -> Dataset:
+    """Draw a random small dataset.
+
+    Every source claims a random subset of items; each claim picks one of
+    the item's candidate values, so shared values arise naturally.
+    """
+    n_sources = draw(st.integers(min_value=2, max_value=max_sources))
+    n_items = draw(st.integers(min_value=1, max_value=max_items))
+    builder = DatasetBuilder()
+    for source_id in range(n_sources):
+        builder.ensure_source(f"S{source_id}")
+    for source_id in range(n_sources):
+        claimed = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_items - 1),
+                unique=True,
+                max_size=n_items,
+            )
+        )
+        for item_id in claimed:
+            value = draw(st.integers(min_value=0, max_value=max_values_per_item - 1))
+            builder.add(f"S{source_id}", f"item{item_id}", f"v{value}")
+    return builder.build()
+
+
+@st.composite
+def worlds(draw, max_sources: int = 8, max_items: int = 12):
+    """Draw a (dataset, probabilities, accuracies) detection problem."""
+    dataset = draw(datasets(max_sources=max_sources, max_items=max_items))
+    probs = [draw(probabilities) for _ in range(dataset.n_values)]
+    accs = [draw(accuracies) for _ in range(dataset.n_sources)]
+    return dataset, probs, accs

@@ -1,0 +1,186 @@
+"""BOUND / BOUND+ / HYBRID: Example 4.2 behaviour and bound soundness."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    CopyParams,
+    detect_bound,
+    detect_bound_plus,
+    detect_hybrid,
+    detect_index,
+    detect_pairwise,
+)
+from .strategies import worlds
+
+
+class TestExample42:
+    @pytest.fixture(scope="class")
+    def result(self, example, example_probabilities, example_accuracies, params):
+        return detect_bound(example, example_probabilities, example_accuracies, params)
+
+    def test_s2_s3_concluded_early_as_copying(self, result, example):
+        """Example 4.2: copying for (S2, S3) after two shared values."""
+        ids = {name: i for i, name in enumerate(example.source_names)}
+        decision = result.decision_for(ids["S2"], ids["S3"])
+        assert decision.early
+        assert decision.copying
+
+    def test_s0_s1_concluded_early_as_independent(self, result, example):
+        """Example 4.2: no-copying for (S0, S1) at their third shared entry."""
+        ids = {name: i for i, name in enumerate(example.source_names)}
+        decision = result.decision_for(ids["S0"], ids["S1"])
+        assert decision.early
+        assert not decision.copying
+
+    def test_same_pairs_as_index(self, result):
+        assert result.cost.pairs_considered == 26
+
+    def test_fewer_values_than_index(self, result):
+        """BOUND examines ~33 shared values vs INDEX's 51 (Example 4.2)."""
+        assert result.cost.values_examined < 51
+
+    def test_binary_results_match_pairwise(
+        self, result, example, example_probabilities, example_accuracies, params
+    ):
+        pw = detect_pairwise(
+            example, example_probabilities, example_accuracies, params
+        )
+        assert result.copying_pairs() == pw.copying_pairs()
+
+
+class TestSoundness:
+    """The bound decisions must agree with exact detection (rare misses
+    come only from the h-estimate in Eq. 10, which these small worlds
+    should not trigger for copy conclusions — C^min is exact)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(world=worlds())
+    def test_copy_conclusions_sound(self, world):
+        """Early *copying* verdicts rely on the exact C^min: always right."""
+        dataset, probs, accs = world
+        params = CopyParams()
+        pw = detect_pairwise(dataset, probs, accs, params)
+        bd = detect_bound(dataset, probs, accs, params)
+        for pair, decision in bd.decisions.items():
+            if decision.copying and decision.early:
+                reference = pw.decision_for(*pair)
+                assert reference is not None and reference.copying
+
+    @settings(max_examples=60, deadline=None)
+    @given(world=worlds())
+    def test_bound_family_agree_with_each_other(self, world):
+        dataset, probs, accs = world
+        params = CopyParams()
+        bd = detect_bound(dataset, probs, accs, params)
+        bp = detect_bound_plus(dataset, probs, accs, params)
+        assert bd.copying_pairs() == bp.copying_pairs()
+
+    @settings(max_examples=60, deadline=None)
+    @given(world=worlds())
+    def test_hybrid_matches_pairwise_on_small_worlds(self, world):
+        """Small-overlap pairs run in exact mode, so HYBRID == PAIRWISE here."""
+        dataset, probs, accs = world
+        params = CopyParams()
+        pw = detect_pairwise(dataset, probs, accs, params)
+        hy = detect_hybrid(dataset, probs, accs, params).result
+        assert hy.copying_pairs() == pw.copying_pairs()
+
+
+class TestBoundPlusEfficiency:
+    def test_fewer_computations_than_bound_on_dense_data(self, params):
+        from repro.synth import stock_1day
+
+        world = stock_1day(scale=0.02)
+        ds = world.dataset
+        from repro.fusion import vote_probabilities
+
+        probs = vote_probabilities(ds)
+        accs = [0.8] * ds.n_sources
+        bd = detect_bound(ds, probs, accs, params)
+        bp = detect_bound_plus(ds, probs, accs, params)
+        assert bp.cost.computations < bd.cost.computations
+        assert bp.copying_pairs() == bd.copying_pairs()
+
+
+class TestHybridModes:
+    def test_threshold_zero_equals_bound_plus(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        bp = detect_bound_plus(
+            example, example_probabilities, example_accuracies, params
+        )
+        hy = detect_hybrid(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            hybrid_threshold=0,
+        ).result
+        assert hy.copying_pairs() == bp.copying_pairs()
+        assert hy.cost.computations == bp.cost.computations
+
+    def test_huge_threshold_equals_index(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        """With every pair in exact mode HYBRID degenerates to INDEX."""
+        ix = detect_index(example, example_probabilities, example_accuracies, params)
+        hy = detect_hybrid(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            hybrid_threshold=10_000,
+        ).result
+        assert hy.copying_pairs() == ix.copying_pairs()
+        assert hy.cost.values_examined == ix.cost.values_examined
+
+
+class TestBookkeeping:
+    def test_bookkeeping_recorded_when_tracking(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        outcome = detect_hybrid(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            track_bookkeeping=True,
+        )
+        assert outcome.bookkeeping is not None
+        assert set(outcome.bookkeeping) == set(outcome.result.decisions)
+        end = outcome.index.n_entries
+        for pair, book in outcome.bookkeeping.items():
+            decision = outcome.result.decisions[pair]
+            assert book.copying == decision.copying
+            assert 0 <= book.decision_pos <= end
+            assert book.n_before + book.n_after <= book.l
+
+    def test_exact_pairs_have_exact_base_scores(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        """Pairs resolved at scan end store their exact final scores."""
+        pw = detect_pairwise(
+            example, example_probabilities, example_accuracies, params
+        )
+        outcome = detect_hybrid(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            track_bookkeeping=True,
+        )
+        end = outcome.index.n_entries
+        for pair, book in outcome.bookkeeping.items():
+            if book.decision_pos == end:
+                reference = pw.decision_for(*pair)
+                assert book.c_base_fwd == pytest.approx(reference.c_fwd, abs=1e-9)
+                assert book.c_base_bwd == pytest.approx(reference.c_bwd, abs=1e-9)
+
+    def test_no_bookkeeping_by_default(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        outcome = detect_hybrid(
+            example, example_probabilities, example_accuracies, params
+        )
+        assert outcome.bookkeeping is None

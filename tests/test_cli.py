@@ -1,0 +1,83 @@
+"""CLI subcommands exercised through main(argv)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli_ds")
+    code = main(
+        ["generate", "book_cs", "--scale", "0.08", "--seed", "3", "-o", str(out)]
+    )
+    assert code == 0
+    return out
+
+
+class TestGenerate:
+    def test_writes_files(self, dataset_dir):
+        assert (dataset_dir / "claims.csv").exists()
+        assert (dataset_dir / "gold.csv").exists()
+
+    def test_output_mentions_profile(self, dataset_dir, capsys):
+        main(["generate", "book_cs", "--scale", "0.05", "-o", str(dataset_dir)])
+        captured = capsys.readouterr().out
+        assert "book_cs" in captured
+        assert "planted copying pairs" in captured
+
+
+class TestStats:
+    def test_prints_counts(self, dataset_dir, capsys):
+        assert main(["stats", str(dataset_dir / "claims.csv")]) == 0
+        out = capsys.readouterr().out
+        assert "sources" in out
+        assert "index-entries" in out
+
+
+class TestDetect:
+    @pytest.mark.parametrize("method", ["pairwise", "index", "hybrid"])
+    def test_methods_run(self, dataset_dir, capsys, method):
+        code = main(
+            ["detect", str(dataset_dir / "claims.csv"), "--method", method]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Copying detected" in out
+        assert "computations" in out
+
+
+class TestFuse:
+    def test_incremental_with_gold(self, dataset_dir, capsys):
+        code = main(
+            [
+                "fuse",
+                str(dataset_dir / "claims.csv"),
+                "--gold",
+                str(dataset_dir / "gold.csv"),
+                "--method",
+                "incremental",
+                "--truths",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fusion accuracy" in out
+        assert "copying pairs" in out
+        assert "Fused truths" in out
+
+    def test_no_detector(self, dataset_dir, capsys):
+        code = main(["fuse", str(dataset_dir / "claims.csv"), "--method", "none"])
+        assert code == 0
+        assert "rounds=" in capsys.readouterr().out
+
+
+class TestParsing:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "nope"])

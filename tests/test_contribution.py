@@ -1,0 +1,142 @@
+"""Contribution scores (Eqs. 3-8) and the copying posterior (Eq. 2)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    CopyParams,
+    different_value_score,
+    no_copy_probability,
+    posterior,
+    pr_independent,
+    pr_single,
+    same_value_score,
+    same_value_scores_both,
+)
+from .strategies import accuracies, probabilities
+
+
+class TestEquation3:
+    def test_known_value_from_example_2_1(self):
+        """Example 2.1 denominator: .01*.2*.2 + .99*.8*.8/50."""
+        value = pr_independent(0.01, 0.2, 0.2, 50)
+        assert value == pytest.approx(0.01 * 0.04 + 0.99 * 0.64 / 50)
+
+    @given(p=probabilities, a1=accuracies, a2=accuracies)
+    def test_is_probability(self, p, a1, a2):
+        value = pr_independent(p, a1, a2, 50)
+        assert 0.0 < value < 1.0
+
+    @given(p=probabilities, a1=accuracies, a2=accuracies)
+    def test_symmetric(self, p, a1, a2):
+        assert pr_independent(p, a1, a2, 50) == pytest.approx(
+            pr_independent(p, a2, a1, 50)
+        )
+
+
+class TestEquation4:
+    def test_known_value(self):
+        assert pr_single(0.01, 0.2) == pytest.approx(0.01 * 0.2 + 0.99 * 0.8)
+
+    @given(p=probabilities, a=accuracies)
+    def test_is_probability(self, p, a):
+        assert 0.0 < pr_single(p, a) < 1.0
+
+
+class TestSameValueScore:
+    def test_example_2_1(self, params):
+        """Sharing NJ.Atlantic (P=.01) between two .2-accuracy sources: 3.89."""
+        assert same_value_score(0.01, 0.2, 0.2, params) == pytest.approx(3.89, abs=0.01)
+
+    def test_example_3_3_table_iii(self, params):
+        """NJ.Atlantic's index score 4.12 comes from the (S4, S3) pair."""
+        assert same_value_score(0.01, 0.4, 0.2, params) == pytest.approx(4.12, abs=0.01)
+
+    @given(p=probabilities, a1=accuracies, a2=accuracies)
+    def test_nonnegative(self, p, a1, a2):
+        """Sharing a value is never evidence against copying (Section II)."""
+        params = CopyParams()
+        assert same_value_score(p, a1, a2, params) >= 0.0
+
+    @given(
+        a1=st.floats(min_value=0.05, max_value=0.95),
+        a2=st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_decreasing_in_probability(self, a1, a2):
+        """Sharing a *false* value is stronger evidence ([6], restated in II-A).
+
+        The claim needs non-degenerate accuracies: below ``1/(n+1)`` a
+        source is so error-prone that sharing a *true* value becomes the
+        stronger signal, flipping the monotonicity (hypothesis found the
+        counterexample at accuracy 0.016 with n = 50).
+        """
+        params = CopyParams()
+        low = same_value_score(0.05, a1, a2, params)
+        high = same_value_score(0.95, a1, a2, params)
+        assert low >= high
+
+    @given(p=probabilities, a1=accuracies, a2=accuracies)
+    def test_both_matches_single(self, p, a1, a2):
+        params = CopyParams()
+        fwd, bwd = same_value_scores_both(p, a1, a2, params)
+        assert fwd == pytest.approx(same_value_score(p, a1, a2, params))
+        assert bwd == pytest.approx(same_value_score(p, a2, a1, params))
+
+
+class TestDifferentValueScore:
+    def test_is_ln_one_minus_s(self, params):
+        assert different_value_score(params) == pytest.approx(math.log(0.2))
+
+    def test_negative(self, params):
+        assert different_value_score(params) < 0.0
+
+
+class TestPosterior:
+    def test_example_2_1_copying(self, params):
+        """C-> = C<- = 11.58 gives Pr(indep) = .00004."""
+        assert no_copy_probability(11.58, 11.58, params) == pytest.approx(
+            0.00004, abs=1e-5
+        )
+
+    def test_example_2_1_independent(self, params):
+        """C-> = C<- = .04 gives Pr(indep) = .79."""
+        assert no_copy_probability(0.04, 0.04, params) == pytest.approx(0.79, abs=0.01)
+
+    def test_zero_scores_give_prior(self, params):
+        """With no evidence the posterior equals the prior beta/(beta+2 alpha)."""
+        expected = params.beta / (params.beta + 2 * params.alpha)
+        assert no_copy_probability(0.0, 0.0, params) == pytest.approx(expected)
+
+    def test_overflow_safe(self, params):
+        """Eq. (2) must survive scores far beyond exp overflow (~709)."""
+        post = posterior(5000.0, 4000.0, params)
+        assert post.independent == pytest.approx(0.0, abs=1e-12)
+        assert post.forward == pytest.approx(1.0, abs=1e-12)
+
+    def test_overflow_safe_negative(self, params):
+        post = posterior(-5000.0, -5000.0, params)
+        assert post.independent == pytest.approx(1.0, abs=1e-12)
+
+    @given(
+        c_fwd=st.floats(min_value=-200, max_value=200),
+        c_bwd=st.floats(min_value=-200, max_value=200),
+    )
+    def test_sums_to_one(self, c_fwd, c_bwd):
+        params = CopyParams()
+        post = posterior(c_fwd, c_bwd, params)
+        assert post.independent + post.forward + post.backward == pytest.approx(1.0)
+        assert post.independent >= 0 and post.forward >= 0 and post.backward >= 0
+
+    def test_copying_decision_boundary(self, params):
+        """Copying iff Pr(indep) <= .5; theta_cp on one side forces it."""
+        post = posterior(params.theta_cp, -100.0, params)
+        assert post.independent <= 0.5 + 1e-12
+        assert post.copying
+
+    def test_monotone_in_scores(self, params):
+        low = no_copy_probability(1.0, 1.0, params)
+        high = no_copy_probability(2.0, 2.0, params)
+        assert high < low

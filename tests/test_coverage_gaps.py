@@ -1,0 +1,127 @@
+"""Direct tests for paths otherwise exercised only indirectly."""
+
+import pytest
+
+from repro.core import CopyParams, SingleRoundDetector, detect_pairwise
+from repro.data import DatasetBuilder
+from repro.eval import run_method
+from repro.fusion import independence_weights, value_probabilities
+
+
+class TestIndependenceWeights:
+    def _copy_world(self, params):
+        b = DatasetBuilder()
+        b.add("orig", "D", "wrong")
+        b.add("copier", "D", "wrong")
+        b.add("other", "D", "right")
+        ds = b.build()
+        probs = [0.02, 0.9]  # wrong, right
+        accs = [0.7, 0.7, 0.7]
+        detection = detect_pairwise(ds, probs, accs, params)
+        return ds, probs, accs, detection
+
+    def test_copier_vote_discounted(self, params):
+        ds, probs, accs, detection = self._copy_world(params)
+        wrong = ds.value_label.index("wrong")
+        providers = ds.providers[wrong]
+        weights = independence_weights(providers, accs, detection, params)
+        # Equal accuracies: one of the two providers is ranked second and
+        # pays the discount; the first keeps full weight.
+        assert max(weights) == pytest.approx(1.0)
+        assert min(weights) < 1.0
+
+    def test_weights_in_unit_interval(self, params):
+        ds, probs, accs, detection = self._copy_world(params)
+        for value_id, providers in enumerate(ds.providers):
+            if len(providers) < 2:
+                continue
+            weights = independence_weights(providers, accs, detection, params)
+            assert all(0.0 <= w <= 1.0 for w in weights)
+
+    def test_independent_sources_keep_full_weight(self, params):
+        b = DatasetBuilder()
+        b.add("a", "D", "v")
+        b.add("b", "D", "v")
+        ds = b.build()
+        detection = detect_pairwise(ds, [0.9], [0.9, 0.9], params)
+        assert not detection.decision_for(0, 1).copying
+        weights = independence_weights([0, 1], [0.9, 0.9], detection, params)
+        # No-copying posteriors still discount by their residual copy
+        # probability; weights stay close to 1.
+        assert all(w > 0.7 for w in weights)
+
+
+class TestRunnerRemainingMethods:
+    @pytest.fixture(scope="class")
+    def world(self):
+        from repro.synth import make_profile
+
+        return make_profile("book_cs", scale=0.08, seed=29)
+
+    @pytest.mark.parametrize("method", ["bound", "bound+", "sample2"])
+    def test_methods_run_and_decide(self, world, method):
+        run = run_method(method, world.dataset, CopyParams(), seed=2)
+        assert run.rounds >= 1
+        assert run.computations > 0
+        if method == "sample2":
+            assert run.sampled_items is not None
+
+
+class TestDetectorCache:
+    def test_shared_items_cached_per_dataset(self, example, params):
+        detector = SingleRoundDetector(params, method="index")
+        first = detector._shared_items(example)
+        second = detector._shared_items(example)
+        assert first is second  # identity: no recomputation
+
+    def test_cache_invalidated_for_new_dataset(self, example, params):
+        detector = SingleRoundDetector(params, method="index")
+        first = detector._shared_items(example)
+        b = DatasetBuilder()
+        b.add("A", "D", "x")
+        b.add("B", "D", "x")
+        other = b.build()
+        assert detector._shared_items(other) is not first
+
+
+class TestValueProbabilityEdges:
+    def test_item_with_single_claim(self, params):
+        b = DatasetBuilder()
+        b.add("only", "D", "x")
+        ds = b.build()
+        probs = value_probabilities(ds, [0.8], params)
+        assert 0.0 < probs[0] < 1.0
+
+    def test_more_values_than_domain(self):
+        """More observed values than n+1 slots must not go negative."""
+        params = CopyParams(n=2)
+        b = DatasetBuilder()
+        for s in range(5):
+            b.add(f"S{s}", "D", f"v{s}")
+        ds = b.build()
+        probs = value_probabilities(ds, [0.5] * 5, params)
+        assert all(0.0 <= p <= 1.0 for p in probs)
+        assert sum(probs) == pytest.approx(1.0)
+
+
+class TestNraEmptyInput:
+    def test_top_k_copying_with_no_shared_values(self, params):
+        from repro.nra import build_fagin_input, top_k_copying
+
+        b = DatasetBuilder()
+        b.add("A", "D1", "x")
+        b.add("B", "D2", "y")
+        ds = b.build()
+        fagin = build_fagin_input(ds, [0.5, 0.5], [0.8, 0.8], params)
+        result = top_k_copying(fagin, 3)
+        assert result.items == []
+
+
+class TestStatsDerived:
+    def test_avg_conflicts(self):
+        b = DatasetBuilder()
+        b.add("A", "D1", "x")
+        b.add("B", "D1", "y")  # two values on D1
+        b.add("A", "D2", "z")  # one value on D2
+        stats = b.build().stats()
+        assert stats.avg_conflicts_per_item == pytest.approx(1.5)

@@ -1,0 +1,99 @@
+"""Detector dispatch and the stateful round detectors."""
+
+import pytest
+
+from repro.core import (
+    METHODS,
+    CopyParams,
+    IncrementalDetector,
+    SingleRoundDetector,
+    detect,
+)
+
+
+class TestDetectDispatch:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_all_methods_run(
+        self, example, example_probabilities, example_accuracies, params, method
+    ):
+        result = detect(
+            example, example_probabilities, example_accuracies, params, method=method
+        )
+        assert result.method in (method, "hybrid", "bound+")
+        assert result.elapsed_seconds >= 0.0
+        assert result.decisions
+
+    def test_unknown_method(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        with pytest.raises(ValueError):
+            detect(
+                example,
+                example_probabilities,
+                example_accuracies,
+                params,
+                method="nope",
+            )
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_methods_agree_on_example(
+        self, example, example_probabilities, example_accuracies, params, method
+    ):
+        reference = detect(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            method="pairwise",
+        )
+        result = detect(
+            example, example_probabilities, example_accuracies, params, method=method
+        )
+        assert result.copying_pairs() == reference.copying_pairs()
+
+
+class TestSingleRoundDetector:
+    def test_validates_method(self, params):
+        with pytest.raises(ValueError):
+            SingleRoundDetector(params, method="incremental")
+
+    def test_run_round(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        detector = SingleRoundDetector(params, method="index")
+        a = detector.run_round(1, example, example_probabilities, example_accuracies)
+        b = detector.run_round(2, example, example_probabilities, example_accuracies)
+        assert a.copying_pairs() == b.copying_pairs()
+
+
+class TestIncrementalDetector:
+    def test_schedule(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        """Rounds 1-2 run HYBRID (round 2 prepares state); round 3+ are
+        incremental."""
+        detector = IncrementalDetector(params)
+        r1 = detector.run_round(
+            1, example, example_probabilities, example_accuracies
+        )
+        assert detector.state is None
+        assert r1.method == "hybrid"
+        r2 = detector.run_round(
+            2, example, example_probabilities, example_accuracies
+        )
+        assert detector.state is not None
+        assert r2.method == "hybrid"
+        r3 = detector.run_round(
+            3, example, example_probabilities, example_accuracies
+        )
+        assert r3.method == "incremental"
+        assert r3.copying_pairs() == r2.copying_pairs()
+
+    def test_out_of_order_round_prepares(self, example, example_probabilities, example_accuracies, params):
+        """Jumping straight to round 5 without state falls back to prep."""
+        detector = IncrementalDetector(params)
+        result = detector.run_round(
+            5, example, example_probabilities, example_accuracies
+        )
+        assert detector.state is not None
+        assert result.method == "hybrid"

@@ -1,0 +1,136 @@
+"""Evaluation harness: metrics, the method runner, report rendering."""
+
+import math
+
+import pytest
+
+from repro.core import CopyParams
+from repro.eval import (
+    RUNNER_METHODS,
+    accuracy_variance,
+    fusion_difference,
+    improvement,
+    pair_quality,
+    quality_vs_reference,
+    render_table,
+    run_method,
+)
+from repro.synth import make_profile
+
+
+class TestPairQuality:
+    def test_perfect(self):
+        pairs = {(0, 1), (2, 3)}
+        q = pair_quality(pairs, pairs)
+        assert q.precision == q.recall == q.f_measure == 1.0
+
+    def test_half_recall(self):
+        q = pair_quality({(0, 1), (2, 3)}, {(0, 1)})
+        assert q.precision == 1.0
+        assert q.recall == 0.5
+        assert q.f_measure == pytest.approx(2 / 3)
+
+    def test_empty_candidate(self):
+        q = pair_quality({(0, 1)}, set())
+        assert q.precision == 1.0
+        assert q.recall == 0.0
+        assert q.f_measure == 0.0
+
+    def test_empty_reference(self):
+        q = pair_quality(set(), {(0, 1)})
+        assert q.recall == 1.0
+        assert q.precision == 0.0
+
+
+class TestFusionDifference:
+    def test_identical(self):
+        assert fusion_difference({1: 2}, {1: 2}) == 0.0
+
+    def test_disjoint_items_count(self):
+        assert fusion_difference({1: 2}, {3: 4}) == 1.0
+
+    def test_partial(self):
+        assert fusion_difference({1: 2, 3: 4}, {1: 2, 3: 9}) == 0.5
+
+    def test_empty(self):
+        assert fusion_difference({}, {}) == 0.0
+
+
+class TestAccuracyVariance:
+    def test_zero_for_identical(self):
+        assert accuracy_variance([0.5, 0.7], [0.5, 0.7]) == 0.0
+
+    def test_mean_absolute(self):
+        assert accuracy_variance([0.5, 0.5], [0.6, 0.4]) == pytest.approx(0.1)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_variance([0.5], [0.5, 0.6])
+
+    def test_empty(self):
+        assert accuracy_variance([], []) == 0.0
+
+
+class TestReport:
+    def test_render_basic(self):
+        table = render_table("T", ["a", "bb"], [[1, 2.5], ["x", 10000.0]])
+        assert "T" in table
+        assert "a" in table and "bb" in table
+        assert "2.500" in table
+        assert "10,000" in table
+
+    def test_improvement(self):
+        assert improvement(100.0, 1.0) == pytest.approx(0.99)
+        assert math.isnan(improvement(0.0, 1.0))
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return make_profile("book_cs", scale=0.1)
+
+    @pytest.fixture(scope="class")
+    def reference(self, world):
+        return run_method("pairwise", world.dataset, CopyParams())
+
+    def test_unknown_method(self, world):
+        with pytest.raises(ValueError):
+            run_method("magic", world.dataset, CopyParams())
+
+    @pytest.mark.parametrize("method", ["index", "hybrid", "incremental"])
+    def test_exactish_methods_agree_with_pairwise(self, world, reference, method):
+        run = run_method(method, world.dataset, CopyParams())
+        q = quality_vs_reference(run, reference, world.dataset, world.gold)
+        assert q.copy_quality.f_measure >= 0.9
+        assert q.fusion_diff <= 0.1
+
+    def test_sampled_method_records_sampling(self, world):
+        run = run_method("scalesample", world.dataset, CopyParams(), seed=3)
+        assert run.sampled_items is not None
+        assert 0 < run.sampled_items <= world.dataset.n_items
+        assert run.sampling_seconds >= 0.0
+
+    def test_sampled_fusion_covers_full_items(self, world):
+        """Sampled methods still fuse the *full* dataset."""
+        run = run_method("sample1", world.dataset, CopyParams(), seed=1)
+        full = run_method("index", world.dataset, CopyParams())
+        assert len(run.fusion.chosen) == len(full.fusion.chosen)
+
+    def test_fagininput_runs(self, world, reference):
+        run = run_method("fagininput", world.dataset, CopyParams())
+        q = quality_vs_reference(run, reference, world.dataset, world.gold)
+        assert q.copy_quality.f_measure == 1.0  # exact by construction
+
+    def test_all_methods_registered(self):
+        assert set(RUNNER_METHODS) == {
+            "pairwise",
+            "sample1",
+            "sample2",
+            "index",
+            "bound",
+            "bound+",
+            "hybrid",
+            "incremental",
+            "scalesample",
+            "fagininput",
+        }

@@ -1,0 +1,43 @@
+"""Every example script must run cleanly (small scales where supported)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+#: (script, extra argv) — scales dialed down to keep CI fast.
+CASES = [
+    ("quickstart.py", []),
+    ("book_aggregator.py", ["0.1"]),
+    ("stock_feeds.py", ["0.01"]),
+    ("structured_vs_text.py", []),
+    ("customer_dedupe.py", []),
+    ("parallel_detection.py", []),
+]
+
+
+@pytest.mark.parametrize("script, argv", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, argv):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *argv],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must print something"
+
+
+def test_scaling_sweep_importable():
+    """scaling_sweep takes minutes at default sizes; import-check only."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "scaling_sweep", EXAMPLES / "scaling_sweep.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # runs module body (defs only)
+    assert callable(module.main)

@@ -1,0 +1,106 @@
+"""Evidence explanations for pair verdicts."""
+
+import pytest
+
+from repro.core import detect_pairwise, explain_pair
+
+
+class TestExplainPair:
+    @pytest.fixture(scope="class")
+    def s2_s3(self, example, example_probabilities, example_accuracies, params):
+        ids = {name: i for i, name in enumerate(example.source_names)}
+        return explain_pair(
+            example,
+            ids["S2"],
+            ids["S3"],
+            example_probabilities,
+            example_accuracies,
+            params,
+        )
+
+    def test_totals_match_pairwise(
+        self, s2_s3, example, example_probabilities, example_accuracies, params
+    ):
+        pairwise = detect_pairwise(
+            example, example_probabilities, example_accuracies, params
+        )
+        ids = {name: i for i, name in enumerate(example.source_names)}
+        decision = pairwise.decision_for(ids["S2"], ids["S3"])
+        assert s2_s3.c_fwd == pytest.approx(decision.c_fwd)
+        assert s2_s3.c_bwd == pytest.approx(decision.c_bwd)
+        assert s2_s3.copying == decision.copying
+
+    def test_item_breakdown(self, s2_s3):
+        assert s2_s3.n_shared_values == 4
+        assert s2_s3.n_different == 1
+        assert len(s2_s3.items) == 5
+
+    def test_items_sum_to_totals(self, s2_s3):
+        assert sum(ev.c_fwd for ev in s2_s3.items) == pytest.approx(s2_s3.c_fwd)
+        assert sum(ev.c_bwd for ev in s2_s3.items) == pytest.approx(s2_s3.c_bwd)
+
+    def test_strongest_evidence_first(self, s2_s3):
+        scores = [ev.c_fwd for ev in s2_s3.items]
+        assert scores == sorted(scores, reverse=True)
+        top = s2_s3.top_evidence(1)[0]
+        assert top.item == "NJ"  # sharing NJ.Atlantic (P=.01) leads
+
+    def test_disagreement_recorded(self, s2_s3):
+        diff = [ev for ev in s2_s3.items if not ev.shared]
+        assert len(diff) == 1
+        assert diff[0].item == "TX"
+        assert diff[0].probability is None
+        assert diff[0].c_fwd < 0
+
+    def test_render_contains_verdict_and_items(self, s2_s3):
+        text = s2_s3.render()
+        assert "COPYING" in text
+        assert "NJ" in text
+        assert "Pr(independent)" in text
+
+    def test_render_truncates(self, s2_s3):
+        text = s2_s3.render(max_items=2)
+        assert "and 3 more items" in text
+
+    def test_self_pair_rejected(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        with pytest.raises(ValueError):
+            explain_pair(
+                example, 1, 1, example_probabilities, example_accuracies, params
+            )
+
+    def test_out_of_range_rejected(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        with pytest.raises(ValueError):
+            explain_pair(
+                example, 0, 99, example_probabilities, example_accuracies, params
+            )
+
+    def test_disjoint_pair_has_no_items(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        """S9 (NJ, FL, TX) vs S6 (AZ, NY, FL, TX): they do share FL/TX...
+        use a constructed disjoint pair instead."""
+        from repro.data import DatasetBuilder
+
+        b = DatasetBuilder()
+        b.add("A", "D1", "x")
+        b.add("B", "D2", "y")
+        ds = b.build()
+        explanation = explain_pair(ds, 0, 1, [0.5, 0.5], [0.8, 0.8], params)
+        assert explanation.items == []
+        assert not explanation.copying  # prior favours independence
+
+
+class TestCliExplain:
+    def test_detect_explain_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.data import motivating_example, save_claims
+
+        path = tmp_path / "claims.csv"
+        save_claims(motivating_example(), path)
+        assert main(["detect", str(path), "--method", "index", "--explain", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pr(independent)" in out

@@ -1,0 +1,187 @@
+"""INCREMENTAL: cross-round agreement with from-scratch detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CopyParams,
+    IncrementalDetector,
+    SingleRoundDetector,
+    detect_hybrid,
+    incremental_round,
+    prepare_incremental,
+)
+from repro.fusion import FusionConfig, run_fusion
+from .strategies import worlds
+
+
+def _drift(probs, rng_value, magnitude):
+    """Deterministically perturb probabilities within [0.001, 0.999]."""
+    out = []
+    for i, p in enumerate(probs):
+        delta = magnitude * (1 if (i * 2654435761 + rng_value) % 2 else -1)
+        out.append(min(max(p + delta, 0.001), 0.999))
+    return out
+
+
+class TestSingleDrift:
+    """With ``rho_value=0`` every score change is applied exactly, so the
+    incremental machinery (bookkeeping, reference frames, passes, tail
+    re-opening) must reproduce a from-scratch run bit-for-bit.  With the
+    default rho the small-change bulk estimate is the paper's knowing
+    approximation (Table VI: F ~ .98) — its quality is asserted
+    statistically in TestProfiles, not pointwise here."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(world=worlds(), salt=st.integers(min_value=0, max_value=10))
+    def test_small_drift_matches_hybrid(self, world, salt):
+        dataset, probs, accs = world
+        params = CopyParams()
+        _, state = prepare_incremental(dataset, probs, accs, params)
+        new_probs = _drift(probs, salt, magnitude=0.01)
+        inc = incremental_round(state, new_probs, accs, params, rho_value=0.0)
+        fresh = detect_hybrid(dataset, new_probs, accs, params).result
+        assert inc.copying_pairs() == fresh.copying_pairs()
+
+    @settings(max_examples=25, deadline=None)
+    @given(world=worlds(), salt=st.integers(min_value=0, max_value=10))
+    def test_big_drift_matches_hybrid(self, world, salt):
+        """Large drifts (tail re-opening territory) must still agree."""
+        dataset, probs, accs = world
+        params = CopyParams()
+        _, state = prepare_incremental(dataset, probs, accs, params)
+        new_probs = _drift(probs, salt, magnitude=0.4)
+        inc = incremental_round(state, new_probs, accs, params, rho_value=0.0)
+        fresh = detect_hybrid(dataset, new_probs, accs, params).result
+        assert inc.copying_pairs() == fresh.copying_pairs()
+
+    @settings(max_examples=25, deadline=None)
+    @given(world=worlds())
+    def test_accuracy_refresh_matches_hybrid(self, world):
+        """A big accuracy change triggers full pair recomputation."""
+        dataset, probs, accs = world
+        params = CopyParams()
+        _, state = prepare_incremental(dataset, probs, accs, params)
+        new_accs = [min(a + 0.3, 0.99) for a in accs]
+        inc = incremental_round(state, probs, new_accs, params)
+        fresh = detect_hybrid(dataset, probs, new_accs, params).result
+        assert inc.copying_pairs() == fresh.copying_pairs()
+
+    @settings(max_examples=25, deadline=None)
+    @given(world=worlds())
+    def test_no_change_confirms_everything_in_pass1(self, world):
+        dataset, probs, accs = world
+        params = CopyParams()
+        _, state = prepare_incremental(dataset, probs, accs, params)
+        inc = incremental_round(state, probs, accs, params)
+        stats = state.history[-1]
+        assert stats.done_pass1 == stats.pairs_total
+        assert stats.flips == 0
+        prep = detect_hybrid(dataset, probs, accs, params).result
+        assert inc.copying_pairs() == prep.copying_pairs()
+
+
+class TestMultiRound:
+    @settings(max_examples=15, deadline=None)
+    @given(world=worlds(max_sources=6, max_items=10))
+    def test_three_rounds_of_drift(self, world):
+        """Repeated incremental rounds stay in sync with fresh runs."""
+        dataset, probs, accs = world
+        params = CopyParams()
+        _, state = prepare_incremental(dataset, probs, accs, params)
+        current = probs
+        for salt in (1, 2, 3):
+            current = _drift(current, salt, magnitude=0.05)
+            inc = incremental_round(state, current, accs, params, rho_value=0.0)
+            fresh = detect_hybrid(dataset, current, accs, params).result
+            assert inc.copying_pairs() == fresh.copying_pairs()
+
+
+class TestWithinFusionLoop:
+    def test_matches_hybrid_loop_on_example(self, example, params):
+        """Full fusion with INCREMENTAL equals full fusion with HYBRID."""
+        config = FusionConfig(max_rounds=8)
+        hybrid = run_fusion(
+            example,
+            params,
+            detector=SingleRoundDetector(params, method="hybrid"),
+            config=config,
+        )
+        incremental = run_fusion(
+            example, params, detector=IncrementalDetector(params), config=config
+        )
+        assert (
+            incremental.final_detection().copying_pairs()
+            == hybrid.final_detection().copying_pairs()
+        )
+        assert incremental.chosen == hybrid.chosen
+
+    def test_round_stats_recorded(self, example, params):
+        detector = IncrementalDetector(params)
+        run_fusion(
+            example, params, detector=detector, config=FusionConfig(max_rounds=6)
+        )
+        assert detector.state is not None
+        assert len(detector.state.history) >= 1
+        for stats in detector.state.history:
+            assert (
+                stats.done_pass1 + stats.done_pass2 + stats.done_pass3
+                == stats.pairs_total
+            )
+
+    def test_example_5_1_flip(self, example, params):
+        """Section V / Example 5.1: the (S0, S1) pair is judged copying in
+        early rounds (both are highly accurate and share everything) and
+        flips to no-copying once value probabilities firm up."""
+        detector = IncrementalDetector(params)
+        result = run_fusion(
+            example, params, detector=detector, config=FusionConfig(max_rounds=8)
+        )
+        ids = {name: i for i, name in enumerate(example.source_names)}
+        final = result.final_detection()
+        decision = final.decision_for(ids["S0"], ids["S1"])
+        assert decision is None or not decision.copying
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("profile, scale", [("book_cs", 0.15), ("stock_1day", 0.02)])
+    def test_quality_against_hybrid_on_profiles(self, params, profile, scale):
+        """Table VI shape: incremental F-measure vs per-round HYBRID >= .9."""
+        from repro.eval import pair_quality
+        from repro.synth import make_profile
+
+        world = make_profile(profile, scale)
+        config = FusionConfig(max_rounds=8)
+        hybrid = run_fusion(
+            world.dataset,
+            params,
+            detector=SingleRoundDetector(params, method="hybrid"),
+            config=config,
+        )
+        incremental = run_fusion(
+            world.dataset, params, detector=IncrementalDetector(params), config=config
+        )
+        quality = pair_quality(
+            hybrid.final_detection().copying_pairs(),
+            incremental.final_detection().copying_pairs(),
+        )
+        assert quality.f_measure >= 0.9
+
+    def test_pass1_dominates_on_profiles(self, params):
+        """Table VIII: the overwhelming majority of pairs finish in pass 1."""
+        from repro.synth import make_profile
+
+        world = make_profile("stock_1day", 0.02)
+        detector = IncrementalDetector(params)
+        run_fusion(
+            world.dataset,
+            params,
+            detector=detector,
+            config=FusionConfig(max_rounds=8),
+        )
+        history = detector.state.history
+        assert history, "expected at least one incremental round"
+        total_p1 = sum(s.done_pass1 for s in history)
+        total = sum(s.pairs_total for s in history)
+        assert total_p1 / total >= 0.8

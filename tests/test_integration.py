@@ -1,0 +1,123 @@
+"""Cross-module integration: full pipelines on profile-shaped worlds."""
+
+import pytest
+
+from repro.core import CopyParams
+from repro.eval import pair_quality, run_method, quality_vs_reference
+from repro.synth import make_profile
+
+
+@pytest.fixture(scope="module")
+def book_world():
+    return make_profile("book_cs", scale=0.15, seed=21)
+
+
+@pytest.fixture(scope="module")
+def stock_world():
+    return make_profile("stock_1day", scale=0.02, seed=23)
+
+
+@pytest.fixture(scope="module")
+def book_runs(book_world):
+    params = CopyParams()
+    methods = ["pairwise", "index", "hybrid", "incremental", "scalesample", "sample1"]
+    return {m: run_method(m, book_world.dataset, params, seed=5) for m in methods}
+
+
+@pytest.fixture(scope="module")
+def stock_runs(stock_world):
+    params = CopyParams()
+    methods = ["pairwise", "index", "bound", "bound+", "hybrid", "incremental"]
+    return {m: run_method(m, stock_world.dataset, params, seed=5) for m in methods}
+
+
+class TestBookRegime:
+    def test_index_identical_to_pairwise(self, book_runs):
+        """Table VI: INDEX obtains exactly PAIRWISE's results."""
+        assert (
+            book_runs["index"].copying_pairs()
+            == book_runs["pairwise"].copying_pairs()
+        )
+
+    def test_index_fewer_computations(self, book_runs):
+        assert book_runs["index"].computations < book_runs["pairwise"].computations
+
+    def test_hybrid_and_incremental_high_f(self, book_runs, book_world):
+        ref = book_runs["pairwise"]
+        for method in ("hybrid", "incremental"):
+            q = quality_vs_reference(
+                book_runs[method], ref, book_world.dataset, book_world.gold
+            )
+            assert q.copy_quality.f_measure >= 0.9, method
+
+    def test_scalesample_beats_naive_sampling(self, book_runs):
+        """Table IX's headline: the per-source floor rescues sampling on
+        low-coverage data."""
+        ref_pairs = book_runs["pairwise"].copying_pairs()
+        scale_f = pair_quality(
+            ref_pairs, book_runs["scalesample"].copying_pairs()
+        ).f_measure
+        naive_f = pair_quality(
+            ref_pairs, book_runs["sample1"].copying_pairs()
+        ).f_measure
+        assert scale_f >= naive_f
+
+    def test_fusion_quality_stable_across_methods(self, book_runs, book_world):
+        ref = book_runs["pairwise"]
+        for method in ("index", "hybrid", "incremental"):
+            q = quality_vs_reference(
+                book_runs[method], ref, book_world.dataset, book_world.gold
+            )
+            assert q.fusion_diff <= 0.05, method
+            assert q.accuracy_var <= 0.05, method
+
+    def test_most_planted_pairs_found(self, book_runs, book_world):
+        planted = book_world.copy_pair_ids()
+        found = book_runs["pairwise"].copying_pairs()
+        assert len(found & planted) / len(planted) >= 0.5
+
+
+class TestStockRegime:
+    def test_all_methods_agree(self, stock_runs):
+        """Dense data: every method reproduces PAIRWISE's verdicts."""
+        reference = stock_runs["pairwise"].copying_pairs()
+        for method, run in stock_runs.items():
+            assert run.copying_pairs() == reference, method
+
+    def test_bound_plus_cheaper_than_bound(self, stock_runs):
+        assert (
+            stock_runs["bound+"].computations < stock_runs["bound"].computations
+        )
+
+    def test_bounds_cheaper_than_index(self, stock_runs):
+        """Dense pairs terminate early, so BOUND+ saves computations."""
+        assert stock_runs["bound+"].computations < stock_runs["index"].computations
+
+    def test_incremental_cheapest_iterative(self, stock_runs):
+        assert (
+            stock_runs["incremental"].computations
+            < stock_runs["hybrid"].computations
+        )
+
+    def test_planted_pairs_found(self, stock_runs, stock_world):
+        planted = stock_world.copy_pair_ids()
+        found = stock_runs["pairwise"].copying_pairs()
+        assert len(found & planted) / len(planted) >= 0.5
+
+
+class TestPublicApi:
+    def test_quickstart_snippet(self):
+        """The README/package-docstring quickstart must run as written."""
+        from repro import CopyParams, run_fusion, SingleRoundDetector
+        from repro.synth import stock_1day
+
+        world = stock_1day(scale=0.01)
+        params = CopyParams()
+        detector = SingleRoundDetector(params, method="hybrid")
+        result = run_fusion(world.dataset, params, detector=detector)
+        assert result.final_detection() is not None
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

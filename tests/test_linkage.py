@@ -1,0 +1,116 @@
+"""Record linkage: Fellegi-Sunter scoring on the indexed machinery."""
+
+import pytest
+
+from repro.linkage import LinkageConfig, link_records
+
+
+def _customers():
+    """A small CRM: records 0/1 and 3/4 are duplicates (they agree on
+    name/email/phone/city and differ on zip); the rest are distinct
+    filler giving the weights a realistic population to estimate
+    chance-agreement from."""
+    records = [
+        {"name": "ada lovelace", "email": "ada@algo.org", "phone": "020-1", "city": "london", "zip": "EC1"},
+        {"name": "ada lovelace", "email": "ada@algo.org", "phone": "020-1", "city": "london", "zip": "EC2"},
+        {"name": "charles babbage", "email": "cb@engine.io", "phone": "020-2", "city": "london", "zip": "EC1"},
+        {"name": "grace hopper", "email": "grace@navy.mil", "phone": "703-1", "city": "arlington", "zip": "22202"},
+        {"name": "grace hopper", "email": "grace@navy.mil", "phone": "703-1", "city": "arlington", "zip": "22209"},
+    ]
+    for i in range(15):
+        records.append(
+            {
+                "name": f"person {i}",
+                "email": f"p{i}@mail.net",
+                "phone": f"555-{i:04d}",
+                "city": "london" if i % 3 == 0 else f"town{i}",
+                "zip": f"Z{i:03d}",
+            }
+        )
+    return records
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        LinkageConfig()
+
+    @pytest.mark.parametrize("m", [0.0, 1.0, -0.5])
+    def test_invalid_m(self, m):
+        with pytest.raises(ValueError):
+            LinkageConfig(m=m)
+
+    def test_threshold_ordering(self):
+        with pytest.raises(ValueError):
+            LinkageConfig(match_threshold=0.0, nonmatch_threshold=1.0)
+
+
+class TestLinking:
+    def test_finds_planted_duplicates(self):
+        result = link_records(_customers())
+        assert (0, 1) in result.matches()
+        assert (3, 4) in result.matches()
+
+    def test_distinct_records_not_matched(self):
+        result = link_records(_customers())
+        assert (0, 2) not in result.matches()
+        assert (1, 2) not in result.matches()
+
+    def test_records_sharing_nothing_never_compared(self):
+        result = link_records(_customers())
+        # Records 0 and 3 share no value at all.
+        assert (0, 3) not in result.decisions
+
+    def test_rare_value_agreement_outweighs_common(self):
+        """Agreeing on a rare email is strong; on a common city, weak."""
+        records = [
+            {"email": "x@y.z", "city": "london"},
+            {"email": "x@y.z", "city": "london"},
+            {"email": "a@b.c", "city": "london"},
+            {"email": "d@e.f", "city": "london"},
+        ] + [{"email": f"u{i}@m.n", "city": "london"} for i in range(12)]
+        result = link_records(
+            records, LinkageConfig(match_threshold=1.5, nonmatch_threshold=0.0)
+        )
+        assert (0, 1) in result.matches()
+        assert (2, 3) not in result.matches()
+
+    def test_disagreements_push_toward_nonmatch(self):
+        records = [
+            {"a": "v", "b": "x1", "c": "y1", "d": "z1"},
+            {"a": "v", "b": "x2", "c": "y2", "d": "z2"},
+        ]
+        result = link_records(
+            records, LinkageConfig(match_threshold=3.0, nonmatch_threshold=0.0)
+        )
+        decision = result.decisions[(0, 1)]
+        assert decision.verdict in ("nonmatch", "possible")
+
+    def test_empty_input(self):
+        result = link_records([])
+        assert result.decisions == {}
+
+    def test_single_record(self):
+        result = link_records([{"a": "x"}])
+        assert result.decisions == {}
+
+
+class TestEarlyTermination:
+    def test_same_verdicts_with_and_without(self):
+        records = _customers() * 3  # replicate for more shared values
+        with_early = link_records(records, LinkageConfig(early_termination=True))
+        without = link_records(records, LinkageConfig(early_termination=False))
+        assert with_early.matches() == without.matches()
+
+    def test_early_skips_reduce_comparisons(self):
+        # Many duplicate groups with many attributes: early termination
+        # should conclude matches before touching every attribute.
+        records = []
+        for g in range(12):
+            base = {f"attr{k}": f"g{g}v{k}" for k in range(10)}
+            records.append(dict(base))
+            records.append(dict(base))
+        eager = link_records(records, LinkageConfig(early_termination=True))
+        lazy = link_records(records, LinkageConfig(early_termination=False))
+        assert eager.matches() == lazy.matches()
+        assert eager.pairs_skipped_early > 0
+        assert eager.comparisons < lazy.comparisons

@@ -1,0 +1,71 @@
+"""CSV persistence round-trips and error handling."""
+
+import pytest
+
+from repro.data import (
+    GoldStandard,
+    load_claims,
+    load_gold,
+    motivating_example,
+    save_claims,
+    save_gold,
+)
+
+
+class TestClaimsRoundTrip:
+    def test_round_trip(self, tmp_path):
+        original = motivating_example()
+        path = tmp_path / "claims.csv"
+        save_claims(original, path)
+        loaded = load_claims(path)
+        assert loaded.n_sources == original.n_sources
+        assert loaded.n_items == original.n_items
+        assert loaded.n_values == original.n_values
+        for source_id, item_id, value_id in original.iter_claims():
+            name = original.source_names[source_id]
+            item = original.item_names[item_id]
+            s2 = loaded.source_names.index(name)
+            i2 = loaded.item_names.index(item)
+            v2 = loaded.claims[s2][i2]
+            assert loaded.value_label[v2] == original.value_label[value_id]
+
+    def test_values_with_commas(self, tmp_path):
+        from repro.data import DatasetBuilder
+
+        b = DatasetBuilder()
+        b.add("S0", "book1", "Knuth, Donald; Dijkstra, Edsger")
+        path = tmp_path / "claims.csv"
+        save_claims(b.build(), path)
+        loaded = load_claims(path)
+        assert loaded.value_label[0] == "Knuth, Donald; Dijkstra, Edsger"
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("S0,NJ,Trenton\n")
+        with pytest.raises(ValueError, match="header"):
+            load_claims(path)
+
+    def test_wrong_column_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("source,item,value\nS0,NJ\n")
+        with pytest.raises(ValueError, match="columns"):
+            load_claims(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "claims.csv"
+        path.write_text("source,item,value\nS0,NJ,Trenton\n\n")
+        assert load_claims(path).n_values == 1
+
+
+class TestGoldRoundTrip:
+    def test_round_trip(self, tmp_path):
+        gold = GoldStandard(truths={"NJ": "Trenton", "AZ": "Phoenix"})
+        path = tmp_path / "gold.csv"
+        save_gold(gold, path)
+        assert load_gold(path).truths == gold.truths
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("NJ,Trenton\n")
+        with pytest.raises(ValueError, match="header"):
+            load_gold(path)

@@ -1,0 +1,65 @@
+"""Proposition 3.1: entry max-scores from extreme provider accuracies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import CopyParams, max_score, max_score_bruteforce
+from .strategies import accuracies, probabilities
+
+
+class TestKnownValues:
+    """Scores of Table III (Example 3.3)."""
+
+    @pytest.mark.parametrize(
+        "p_true, provider_accuracies, expected",
+        [
+            (0.01, [0.2, 0.2, 0.4], 4.12),  # NJ.Atlantic from (S4, S3)
+            (0.02, [0.6, 0.01], 4.59),  # AZ.Tempe (S5, S6)
+            (0.02, [0.2, 0.4], 4.05),  # TX.Houston (S2, S4)
+            (0.03, [0.2, 0.2], 3.83),  # FL.Miami (S2, S3)
+            (0.97, [0.99, 0.99, 0.25, 0.2, 0.99], 1.51),  # NJ.Trenton
+        ],
+    )
+    def test_table_iii(self, params, p_true, provider_accuracies, expected):
+        assert max_score(p_true, provider_accuracies, params) == pytest.approx(
+            expected, abs=0.02
+        )
+
+
+class TestProposition31:
+    @given(
+        p=probabilities,
+        accs=st.lists(accuracies, min_size=2, max_size=8),
+    )
+    def test_matches_bruteforce(self, p, accs):
+        """The extreme-accuracy shortcut equals the O(k^2) maximum."""
+        params = CopyParams()
+        fast = max_score(p, accs, params)
+        slow = max_score_bruteforce(p, accs, params)
+        assert fast == pytest.approx(slow, rel=1e-12, abs=1e-12)
+
+    @given(p=probabilities, accs=st.lists(accuracies, min_size=2, max_size=6))
+    def test_upper_bounds_every_pair(self, p, accs):
+        """M-hat dominates the contribution of every ordered provider pair."""
+        from repro.core import same_value_score
+
+        params = CopyParams()
+        bound = max_score(p, accs, params)
+        for i, a1 in enumerate(accs):
+            for j, a2 in enumerate(accs):
+                if i != j:
+                    assert same_value_score(p, a1, a2, params) <= bound + 1e-12
+
+
+class TestValidation:
+    def test_single_provider_rejected(self, params):
+        with pytest.raises(ValueError):
+            max_score(0.5, [0.9], params)
+        with pytest.raises(ValueError):
+            max_score_bruteforce(0.5, [0.9], params)
+
+    def test_two_equal_providers(self, params):
+        """Degenerate extremes (all accuracies equal) still work."""
+        score = max_score(0.1, [0.5, 0.5], params)
+        assert score == pytest.approx(max_score_bruteforce(0.1, [0.5, 0.5], params))

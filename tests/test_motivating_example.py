@@ -1,0 +1,152 @@
+"""End-to-end checks against every worked number in the paper's examples.
+
+This file is the reproduction's anchor: Tables I and III and Examples
+2.1, 3.3, 3.6 and 4.2 give exact intermediate values, and the library must
+hit them.  (Example 3.6's "183 shared data items" is an arithmetic slip in
+the paper — Table I sums to 181; see EXPERIMENTS.md.)
+"""
+
+import pytest
+
+from repro.core import (
+    InvertedIndex,
+    detect_bound,
+    detect_index,
+    detect_pairwise,
+)
+from repro.data import (
+    MOTIVATING_COPY_PAIRS,
+    motivating_example,
+    motivating_gold,
+)
+
+
+class TestTableI:
+    def test_shape(self, example):
+        assert example.n_sources == 10
+        assert example.n_items == 5
+        assert example.n_values == 16
+
+    def test_missing_cells(self, example):
+        by_name = dict(zip(example.source_names, example.items_per_source))
+        assert by_name == {
+            "S0": 4,
+            "S1": 5,
+            "S2": 5,
+            "S3": 5,
+            "S4": 5,
+            "S5": 5,
+            "S6": 4,
+            "S7": 4,
+            "S8": 5,
+            "S9": 3,
+        }
+
+
+class TestTableIII:
+    """The inverted index: entries, probabilities, scores, providers."""
+
+    EXPECTED = {
+        # label: (probability, score, providers)
+        "Tempe": (0.02, 4.59, {"S5", "S6"}),
+        "Atlantic": (0.01, 4.12, {"S2", "S3", "S4"}),
+        "Houston": (0.02, 4.05, {"S2", "S4"}),
+        "NewYork": (0.02, 4.05, {"S2", "S3", "S4"}),
+        "Dallas": (0.02, 3.98, {"S6", "S7", "S8"}),
+        "Buffalo": (0.04, 3.97, {"S6", "S7", "S8"}),
+        "PalmBay": (0.05, 3.97, {"S6", "S7", "S8"}),
+        "Miami": (0.03, 3.83, {"S2", "S3"}),
+        "Phoenix": (0.95, 1.62, {"S0", "S1", "S2", "S3", "S4"}),
+        "Trenton": (0.97, 1.51, {"S0", "S1", "S7", "S8", "S9"}),
+        "Orlando": (0.92, 0.84, {"S1", "S4", "S5", "S9"}),
+        "Albany": (0.94, 0.43, {"S0", "S1", "S5"}),
+        "Austin": (0.96, 0.43, {"S0", "S1", "S5", "S9"}),
+    }
+
+    @pytest.fixture(scope="class")
+    def index(self, example, example_probabilities, example_accuracies, params):
+        return InvertedIndex.build(
+            example, example_probabilities, example_accuracies, params
+        )
+
+    def test_entry_set(self, example, index):
+        labels = {example.value_label[e.value_id] for e in index.entries}
+        assert labels == set(self.EXPECTED)
+
+    def test_probabilities_scores_providers(self, example, index):
+        for entry in index.entries:
+            label = example.value_label[entry.value_id]
+            probability, score, providers = self.EXPECTED[label]
+            assert entry.probability == pytest.approx(probability)
+            assert entry.score == pytest.approx(score, abs=0.03), label
+            names = {example.source_names[s] for s in entry.providers}
+            assert names == providers, label
+
+    def test_processing_order_score_descending(self, index):
+        main = index.entries[: index.tail_start]
+        scores = [e.score for e in main]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestExample36:
+    """INDEX vs PAIRWISE accounting on the motivating example."""
+
+    def test_pairwise_accounting(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        result = detect_pairwise(
+            example, example_probabilities, example_accuracies, params
+        )
+        assert result.cost.pairs_considered == 45
+        assert result.cost.values_examined == 181  # paper says 183; see above
+        assert result.cost.computations == 362
+
+    def test_index_accounting(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        result = detect_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        assert result.cost.pairs_considered == 26
+        assert result.cost.values_examined == 51
+        assert result.cost.computations == 154
+
+    def test_index_cuts_computation_by_more_than_half(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        pw = detect_pairwise(
+            example, example_probabilities, example_accuracies, params
+        )
+        ix = detect_index(example, example_probabilities, example_accuracies, params)
+        assert ix.cost.computations < pw.cost.computations / 2
+
+
+class TestExample42:
+    def test_bound_examines_fewer_values(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        """BOUND: ~33 shared values and all 26 pairs (Example 4.2)."""
+        result = detect_bound(
+            example, example_probabilities, example_accuracies, params
+        )
+        assert result.cost.pairs_considered == 26
+        assert result.cost.values_examined == pytest.approx(33, abs=2)
+
+    def test_decisions_match_planted(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        result = detect_bound(
+            example, example_probabilities, example_accuracies, params
+        )
+        found = {
+            frozenset({example.source_names[a], example.source_names[b]})
+            for a, b in result.copying_pairs()
+        }
+        assert found == set(MOTIVATING_COPY_PAIRS)
+
+
+class TestGold:
+    def test_gold_covers_all_items(self):
+        gold = motivating_gold()
+        example = motivating_example()
+        assert set(gold.truths) == set(example.item_names)

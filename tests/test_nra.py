@@ -1,0 +1,149 @@
+"""Fagin's NRA and the FAGININPUT baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import detect_index
+from repro.nra import build_fagin_input, nra_topk, top_k_copying
+
+
+def _bruteforce_topk(lists, k, missing=0.0):
+    totals = {}
+    for lst in lists:
+        for obj, score in lst:
+            totals[obj] = totals.get(obj, 0.0) + score
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1])
+    return ranked[:k]
+
+
+@st.composite
+def sorted_lists(draw):
+    """Random descending-sorted lists with unique objects per list."""
+    n_objects = draw(st.integers(min_value=1, max_value=8))
+    n_lists = draw(st.integers(min_value=1, max_value=5))
+    lists = []
+    for _ in range(n_lists):
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_objects - 1),
+                unique=True,
+                max_size=n_objects,
+            )
+        )
+        scored = [
+            (obj, draw(st.floats(min_value=-5, max_value=10)))
+            for obj in members
+        ]
+        scored.sort(key=lambda pair: -pair[1])
+        lists.append(scored)
+    return lists
+
+
+class TestNraTopK:
+    def test_single_list(self):
+        result = nra_topk([[("a", 3.0), ("b", 1.0)]], 1)
+        assert result.items == [("a", 3.0)]
+        assert result.resolved
+
+    def test_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            nra_topk([[("a", 1.0)]], 0)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            nra_topk([[("a", 1.0), ("b", 2.0)]], 1)
+
+    def test_negative_scores(self):
+        lists = [
+            [("a", 5.0), ("b", 3.0), ("c", 1.0)],
+            [("b", 4.0), ("a", 2.0)],
+            [("a", -1.0), ("c", -3.0)],
+        ]
+        result = nra_topk(lists, 2)
+        assert [obj for obj, _ in result.items] == ["b", "a"]
+        assert result.items[0][1] == pytest.approx(7.0)
+        assert result.items[1][1] == pytest.approx(6.0)
+
+    def test_fewer_objects_than_k(self):
+        result = nra_topk([[("a", 1.0)]], 5)
+        assert [obj for obj, _ in result.items] == ["a"]
+
+    @given(lists=sorted_lists(), k=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_bruteforce_set_and_scores(self, lists, k):
+        expected = _bruteforce_topk(lists, k)
+        result = nra_topk(lists, k)
+        got = dict(result.items)
+        # The returned top set must consist of objects whose true totals
+        # are at least the k-th best total (ties make the exact set
+        # ambiguous, so compare score multisets).
+        expected_scores = sorted((round(s, 9) for _, s in expected), reverse=True)
+        truth = dict(_bruteforce_topk(lists, 10**6))
+        got_scores = sorted((round(truth[obj], 9) for obj in got), reverse=True)
+        assert got_scores == expected_scores
+
+    def test_early_termination_reads_less(self):
+        lists = [
+            [("top", 100.0)] + [(f"x{i}", 1.0 - i * 1e-3) for i in range(50)],
+            [("top", 100.0)] + [(f"y{i}", 1.0 - i * 1e-3) for i in range(50)],
+        ]
+        result = nra_topk(lists, 1)
+        assert result.items[0][0] == "top"
+        assert result.sorted_accesses < 102
+
+
+class TestFaginInput:
+    def test_verdicts_match_index(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        fagin = build_fagin_input(
+            example, example_probabilities, example_accuracies, params
+        )
+        index_result = detect_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        assert fagin.result.copying_pairs() == index_result.copying_pairs()
+
+    def test_value_lists_sorted(self, example, example_probabilities, example_accuracies, params):
+        fagin = build_fagin_input(
+            example, example_probabilities, example_accuracies, params
+        )
+        for lst in fagin.value_lists:
+            scores = [score for _, score in lst]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_both_directions_present(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        fagin = build_fagin_input(
+            example, example_probabilities, example_accuracies, params
+        )
+        directed = {pair for lst in fagin.value_lists for pair, _ in lst}
+        assert all((b, a) in directed for a, b in directed)
+
+    def test_top_k_finds_strongest_copiers(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        """The NRA top pairs must be among the PAIRWISE copying pairs."""
+        fagin = build_fagin_input(
+            example, example_probabilities, example_accuracies, params
+        )
+        top = top_k_copying(fagin, 4)
+        copying = fagin.result.copying_pairs()
+        for (copier, original), _ in top.items:
+            key = (min(copier, original), max(copier, original))
+            assert key in copying
+
+    def test_top_k_scores_match_decisions(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        fagin = build_fagin_input(
+            example, example_probabilities, example_accuracies, params
+        )
+        top = top_k_copying(fagin, 2)
+        for (copier, original), score in top.items:
+            key = (min(copier, original), max(copier, original))
+            decision = fagin.result.decisions[key]
+            expected = decision.c_fwd if copier < original else decision.c_bwd
+            assert score == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,83 @@
+"""PAIRWISE baseline: Example 2.1 numbers and accounting conventions."""
+
+import pytest
+
+from repro.core import detect_pairwise
+from repro.data import MOTIVATING_COPY_PAIRS
+
+
+class TestMotivatingExample:
+    @pytest.fixture(scope="class")
+    def result(self, example, example_probabilities, example_accuracies, params):
+        return detect_pairwise(
+            example, example_probabilities, example_accuracies, params
+        )
+
+    def test_finds_exactly_the_planted_pairs(self, result, example):
+        found = {
+            frozenset({example.source_names[a], example.source_names[b]})
+            for a, b in result.copying_pairs()
+        }
+        assert found == set(MOTIVATING_COPY_PAIRS)
+
+    def test_s2_s3_scores(self, result, example):
+        """Example 2.1: C-> = C<- = 11.58, Pr(indep) = .00004."""
+        ids = {name: i for i, name in enumerate(example.source_names)}
+        decision = result.decision_for(ids["S2"], ids["S3"])
+        assert decision.c_fwd == pytest.approx(11.58, abs=0.02)
+        assert decision.c_bwd == pytest.approx(11.58, abs=0.02)
+        assert decision.posterior.independent == pytest.approx(0.00004, abs=1e-5)
+        assert decision.copying
+
+    def test_s0_s1_scores(self, result, example):
+        """Example 2.1: C ~ .04, Pr(indep) = .79 -> no copying."""
+        ids = {name: i for i, name in enumerate(example.source_names)}
+        decision = result.decision_for(ids["S0"], ids["S1"])
+        assert decision.posterior.independent == pytest.approx(0.79, abs=0.02)
+        assert not decision.copying
+
+    def test_computation_count(self, result):
+        """2 computations per shared item; the example has 181 shared items.
+
+        (The paper's Example 3.6 quotes 183*2 = 366; summing per-item
+        provider pairs over Table I gives 36+28+36+36+45 = 181, so we
+        assert the arithmetic our data actually yields.)
+        """
+        assert result.cost.computations == 362
+        assert result.cost.values_examined == 181
+
+    def test_all_pairs_considered(self, result):
+        assert result.cost.pairs_considered == 45
+
+    def test_pairs_without_shared_items_not_decided(self, result, example):
+        """S0 and S6 share no item (S0 lacks FL, S6 lacks NJ... they do share).
+
+        S0 covers NJ, AZ, NY, TX; S6 covers AZ, NY, FL, TX — they share
+        items, so they *are* decided; a truly disjoint pair needs S9 vs a
+        source with only AZ+NY.  Instead verify the decided count: all 45
+        pairs share at least one item in this dense example.
+        """
+        assert len(result.decisions) == 45
+
+    def test_directed_copy_probability(self, result, example):
+        ids = {name: i for i, name in enumerate(example.source_names)}
+        p_fwd = result.copy_probability(ids["S2"], ids["S3"])
+        p_bwd = result.copy_probability(ids["S3"], ids["S2"])
+        ind = result.decision_for(ids["S2"], ids["S3"]).posterior.independent
+        assert p_fwd + p_bwd + ind == pytest.approx(1.0)
+
+    def test_copy_probability_unopened_pair_is_zero(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        from repro.data import DatasetBuilder
+
+        b = DatasetBuilder()
+        b.add("A", "x", "1")
+        b.add("B", "y", "2")
+        ds = b.build()
+        result = detect_pairwise(ds, [0.5, 0.5], [0.8, 0.8], params)
+        assert result.copy_probability(0, 1) == 0.0
+
+    def test_copy_probability_self_rejected(self, result):
+        with pytest.raises(ValueError):
+            result.copy_probability(1, 1)

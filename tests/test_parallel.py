@@ -1,0 +1,162 @@
+"""Partitioned detection: partitions, merge equivalence, executors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CopyParams, InvertedIndex, detect_index
+from repro.parallel import (
+    detect_index_parallel,
+    partition_entries,
+    partition_weights,
+)
+from .strategies import worlds
+
+
+def _example_index(example, example_probabilities, example_accuracies, params):
+    return InvertedIndex.build(
+        example, example_probabilities, example_accuracies, params
+    )
+
+
+class TestPartitioning:
+    def test_blocks_cover_everything_once(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        index = _example_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        parts = partition_entries(index, 3, strategy="blocks")
+        seen = [pos for part in parts for pos in part.positions]
+        assert sorted(seen) == list(range(index.n_entries))
+
+    def test_stride_cover_everything_once(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        index = _example_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        parts = partition_entries(index, 4, strategy="stride")
+        seen = [pos for part in parts for pos in part.positions]
+        assert sorted(seen) == list(range(index.n_entries))
+
+    def test_more_partitions_than_entries(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        index = _example_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        parts = partition_entries(index, index.n_entries + 5)
+        assert len(parts) == index.n_entries + 5
+        assert sum(len(p.positions) for p in parts) == index.n_entries
+
+    def test_invalid_inputs(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        index = _example_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        with pytest.raises(ValueError):
+            partition_entries(index, 0)
+        with pytest.raises(ValueError):
+            partition_entries(index, 2, strategy="zigzag")
+
+    def test_stride_balances_weights(self):
+        """On a skewed profile, stride partitions carry similar loads."""
+        from repro.fusion import vote_probabilities
+        from repro.synth import stock_1day
+
+        world = stock_1day(scale=0.01)
+        ds = world.dataset
+        params = CopyParams()
+        index = InvertedIndex.build(
+            ds, vote_probabilities(ds), [0.8] * ds.n_sources, params
+        )
+        parts = partition_entries(index, 4, strategy="stride")
+        weights = [partition_weights(index, p) for p in parts]
+        assert max(weights) <= 2 * max(min(weights), 1)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("strategy", ["blocks", "stride"])
+    @pytest.mark.parametrize("n_partitions", [1, 2, 5])
+    def test_matches_sequential_on_example(
+        self,
+        example,
+        example_probabilities,
+        example_accuracies,
+        params,
+        strategy,
+        n_partitions,
+    ):
+        sequential = detect_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        parallel = detect_index_parallel(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            n_partitions=n_partitions,
+            strategy=strategy,
+        )
+        assert set(parallel.decisions) == set(sequential.decisions)
+        for pair, decision in parallel.decisions.items():
+            reference = sequential.decisions[pair]
+            assert decision.c_fwd == pytest.approx(reference.c_fwd, abs=1e-9)
+            assert decision.copying == reference.copying
+
+    @settings(max_examples=40, deadline=None)
+    @given(world=worlds(), n_partitions=st.integers(min_value=1, max_value=6))
+    def test_matches_sequential_on_random_worlds(self, world, n_partitions):
+        dataset, probs, accs = world
+        params = CopyParams()
+        sequential = detect_index(dataset, probs, accs, params)
+        parallel = detect_index_parallel(
+            dataset, probs, accs, params, n_partitions=n_partitions
+        )
+        assert parallel.copying_pairs() == sequential.copying_pairs()
+        assert set(parallel.decisions) == set(sequential.decisions)
+
+    def test_thread_executor(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        sequential = detect_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        parallel = detect_index_parallel(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            n_partitions=3,
+            executor="threads",
+        )
+        assert parallel.copying_pairs() == sequential.copying_pairs()
+
+    def test_unknown_executor(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        with pytest.raises(ValueError):
+            detect_index_parallel(
+                example,
+                example_probabilities,
+                example_accuracies,
+                params,
+                executor="gpu",
+            )
+
+    def test_tail_only_pairs_stay_closed(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        """S0/S5 share only tail values; no partitioning may open them."""
+        ids = {name: i for i, name in enumerate(example.source_names)}
+        for n_partitions in (1, 2, 7):
+            result = detect_index_parallel(
+                example,
+                example_probabilities,
+                example_accuracies,
+                params,
+                n_partitions=n_partitions,
+            )
+            assert result.decision_for(ids["S0"], ids["S5"]) is None

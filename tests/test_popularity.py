@@ -1,0 +1,208 @@
+"""Popularity-aware contribution model (paper footnote 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    CopyParams,
+    detect_pairwise,
+    detect_pairwise_popular,
+    estimate_relative_popularity,
+    pr_independent,
+    pr_independent_popular,
+    pr_single,
+    pr_single_popular,
+    same_value_scores_both,
+    same_value_scores_popular,
+)
+from repro.data import DatasetBuilder
+from .strategies import accuracies, probabilities
+
+
+class TestReduction:
+    """At rho = 1 the popularity model IS the uniform model."""
+
+    @given(p=probabilities, a1=accuracies, a2=accuracies)
+    def test_pr_independent(self, p, a1, a2):
+        assert pr_independent_popular(p, a1, a2, 1.0, 50) == pytest.approx(
+            pr_independent(p, a1, a2, 50)
+        )
+
+    @given(p=probabilities, a=accuracies)
+    def test_pr_single(self, p, a):
+        assert pr_single_popular(p, a, 1.0) == pytest.approx(pr_single(p, a))
+
+    @given(p=probabilities, a1=accuracies, a2=accuracies)
+    def test_scores(self, p, a1, a2):
+        params = CopyParams()
+        uniform = same_value_scores_both(p, a1, a2, params)
+        popular = same_value_scores_popular(p, a1, a2, 1.0, params)
+        assert popular[0] == pytest.approx(uniform[0])
+        assert popular[1] == pytest.approx(uniform[1])
+
+
+class TestMonotonicity:
+    @given(
+        p=st.floats(min_value=0.001, max_value=0.02),
+        a1=st.floats(min_value=0.2, max_value=0.5),
+        a2=st.floats(min_value=0.2, max_value=0.5),
+        rho=st.floats(min_value=2.0, max_value=20.0),
+    )
+    def test_popular_false_values_are_weaker_evidence(self, p, a1, a2, rho):
+        """In the false-channel-dominated regime (clearly-false value,
+        error-prone providers) a popular falsehood scores below a rare
+        one.  Outside that regime the 'might be true' channel dominates
+        and the correction can reverse — see the module docstring;
+        hypothesis found the boundary at (p=.25, a=.5, rho=2)."""
+        params = CopyParams()
+        rare = same_value_scores_popular(p, a1, a2, 1.0, params)
+        popular = same_value_scores_popular(p, a1, a2, rho, params)
+        assert popular[0] < rare[0]
+        assert popular[1] < rare[1]
+
+    def test_accurate_providers_reverse_the_correction(self):
+        """Documented boundary behaviour: for accurate providers sharing a
+        popular value, the score *rises* with popularity (the value being
+        provided at all becomes likelier while independent collision stays
+        dominated by the true channel)."""
+        params = CopyParams()
+        rare = same_value_scores_popular(0.25, 0.5, 0.5, 1.0, params)
+        popular = same_value_scores_popular(0.25, 0.5, 0.5, 2.0, params)
+        assert popular[0] > rare[0]
+
+
+class TestEstimator:
+    def test_uniform_world_estimates_near_one(self):
+        """Singleton values (no repeated errors) stay near rho = 1."""
+        b = DatasetBuilder()
+        for s in range(6):
+            b.add(f"S{s}", "D", f"v{s}")
+        ds = b.build()
+        params = CopyParams()
+        rhos = estimate_relative_popularity(ds, [0.1] * 6, params)
+        assert all(0.5 < r < 2.5 for r in rhos)
+
+    def test_repeated_false_value_gets_high_rho(self):
+        b = DatasetBuilder()
+        for s in range(8):
+            b.add(f"S{s}", "D", "stale")  # everyone repeats the same error
+        b.add("S8", "D", "fresh")
+        ds = b.build()
+        params = CopyParams()
+        probs = [0.05 if ds.value_label[v] == "stale" else 0.9 for v in range(ds.n_values)]
+        rhos = estimate_relative_popularity(ds, probs, params)
+        stale = ds.value_label.index("stale")
+        fresh = ds.value_label.index("fresh")
+        assert rhos[stale] > 3.0
+        assert rhos[stale] > rhos[fresh]
+
+    def test_length_validation(self):
+        b = DatasetBuilder()
+        b.add("A", "D", "x")
+        b.add("B", "D", "x")
+        ds = b.build()
+        with pytest.raises(ValueError):
+            detect_pairwise_popular(
+                ds, [0.5], [0.8, 0.8], CopyParams(), rel_popularity=[1.0, 1.0]
+            )
+
+
+class TestDecisionCorrection:
+    def _borderline_world(self):
+        """Two 0.5-accuracy sources sharing 2 *popular* false values and
+        disagreeing on 3 items — plus a crowd that repeats the same
+        popular falsehoods independently."""
+        b = DatasetBuilder()
+        # Shared popular falsehoods on items P0, P1.
+        for s in ("A", "B", "C", "D", "E", "F"):
+            b.add(s, "P0", "pop0")
+            b.add(s, "P1", "pop1")
+        # A and B disagree on three more items.
+        for i, (va, vb) in enumerate([("x", "y"), ("q", "r"), ("s", "t")]):
+            b.add("A", f"I{i}", va)
+            b.add("B", f"I{i}", vb)
+        return b.build()
+
+    def test_popularity_flips_borderline_pair(self):
+        ds = self._borderline_world()
+        params = CopyParams()
+        probs = [
+            0.02 if ds.value_label[v].startswith("pop") else 0.5
+            for v in range(ds.n_values)
+        ]
+        accs = [0.5] * ds.n_sources
+        a, bee = ds.source_names.index("A"), ds.source_names.index("B")
+
+        uniform = detect_pairwise(ds, probs, accs, params)
+        assert uniform.decision_for(a, bee).copying, "uniform model is fooled"
+
+        popular = detect_pairwise_popular(ds, probs, accs, params)
+        decision = popular.decision_for(a, bee)
+        assert not decision.copying, (
+            "popularity model should discount the crowd-repeated falsehoods"
+        )
+
+    def test_copiers_still_detected_under_popularity(self):
+        """Real copiers share rare values too; the correction must not
+        erase true positives."""
+        from repro.synth import GeneratorConfig, generate
+
+        world = generate(
+            GeneratorConfig(
+                n_items=300,
+                n_independent_sources=12,
+                coverage_range=(0.7, 1.0),
+                accuracy_range=(0.5, 0.85),
+                n_copier_groups=2,
+                copiers_per_group=2,
+                false_value_skew=2.0,
+                seed=9,
+            )
+        )
+        ds = world.dataset
+        params = CopyParams()
+        from repro.fusion import run_fusion
+
+        fusion = run_fusion(ds, params, detector=None)
+        result = detect_pairwise_popular(
+            ds, fusion.probabilities, fusion.accuracies, params
+        )
+        planted = world.copy_pair_ids()
+        found = result.copying_pairs()
+        assert len(found & planted) >= len(planted) // 2
+
+
+class TestGeneratorSkew:
+    def test_skew_concentrates_false_picks(self):
+        from repro.synth import GeneratorConfig, generate
+
+        flat = generate(
+            GeneratorConfig(n_items=400, n_independent_sources=20,
+                            coverage_range=(0.8, 1.0), accuracy_range=(0.4, 0.6),
+                            n_copier_groups=0, false_value_skew=0.0, seed=3)
+        )
+        skewed = generate(
+            GeneratorConfig(n_items=400, n_independent_sources=20,
+                            coverage_range=(0.8, 1.0), accuracy_range=(0.4, 0.6),
+                            n_copier_groups=0, false_value_skew=2.5, seed=3)
+        )
+
+        def top_false_share(world):
+            ds = world.dataset
+            best = total = 0
+            for item in range(ds.n_items):
+                for vid in ds.values_of_item(item):
+                    if ds.value_label[vid].endswith("/f0"):
+                        best += len(ds.providers[vid])
+                    if "/f" in ds.value_label[vid]:
+                        total += len(ds.providers[vid])
+            return best / total if total else 0.0
+
+        assert top_false_share(skewed) > 2 * top_false_share(flat)
+
+    def test_zero_copier_groups_allowed(self):
+        from repro.synth import GeneratorConfig, generate
+
+        world = generate(GeneratorConfig(n_items=50, n_copier_groups=0, seed=1))
+        assert world.copy_pairs == set()
