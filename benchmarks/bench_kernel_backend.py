@@ -1,0 +1,155 @@
+"""Micro-benchmark: python vs numpy backend on the entry-scan hot path.
+
+Unlike the table/figure benches (which reproduce the paper), this module
+tracks the *implementation's* performance trajectory: it times the
+exhaustive scans (INDEX with a prebuilt index, PAIRWISE, and the parallel
+engine's serial reduce) under both backends on a dense synthetic world of
+at least 200 sources, and writes a ``BENCH_kernel.json`` artifact so every
+subsequent PR can compare against this one.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_backend.py
+
+The world is deliberately *dense* (uniform stock-style coverage): the
+kernel's advantage scales with the number of (pair, shared value)
+incidences, which is exactly the regime the paper's Hadoop section targets.
+The acceptance bar recorded by ``check`` is a >= 3x speedup on the INDEX
+entry scan.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core import CopyParams, InvertedIndex, detect_index, detect_pairwise
+from repro.fusion import vote_probabilities
+from repro.parallel import detect_index_parallel
+from repro.synth.generator import GeneratorConfig, generate
+
+OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_kernel.json"
+
+#: >= 200 sources (212 with the planted copier groups), dense coverage.
+WORLD_CONFIG = GeneratorConfig(
+    n_items=400,
+    n_independent_sources=200,
+    coverage_model="uniform",
+    coverage_range=(0.3, 0.6),
+    n_copier_groups=4,
+    copiers_per_group=3,
+)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run() -> dict:
+    world = generate(WORLD_CONFIG)
+    dataset = world.dataset
+    probabilities = vote_probabilities(dataset)
+    accuracies = [0.8] * dataset.n_sources
+    params_python = CopyParams(backend="python")
+    params_numpy = CopyParams(backend="numpy")
+    index = InvertedIndex.build(dataset, probabilities, accuracies, params_python)
+    incidences = sum(
+        len(e.providers) * (len(e.providers) - 1) // 2 for e in index.entries
+    )
+
+    timings: dict[str, dict[str, float]] = {}
+
+    timings["index_scan"] = {
+        "python": _best_of(
+            lambda: detect_index(
+                dataset, probabilities, accuracies, params_python, index=index
+            )
+        ),
+        "numpy": _best_of(
+            lambda: detect_index(
+                dataset, probabilities, accuracies, params_numpy, index=index
+            )
+        ),
+    }
+    timings["pairwise"] = {
+        "python": _best_of(
+            lambda: detect_pairwise(dataset, probabilities, accuracies, params_python),
+            repeats=2,
+        ),
+        "numpy": _best_of(
+            lambda: detect_pairwise(dataset, probabilities, accuracies, params_numpy),
+            repeats=2,
+        ),
+    }
+    timings["parallel_serial"] = {
+        "python": _best_of(
+            lambda: detect_index_parallel(
+                dataset,
+                probabilities,
+                accuracies,
+                params_python,
+                n_partitions=4,
+                index=index,
+            ),
+            repeats=2,
+        ),
+        "numpy": _best_of(
+            lambda: detect_index_parallel(
+                dataset,
+                probabilities,
+                accuracies,
+                params_numpy,
+                n_partitions=4,
+                index=index,
+            ),
+            repeats=2,
+        ),
+    }
+
+    for name, pair in timings.items():
+        pair["speedup"] = pair["python"] / pair["numpy"]
+
+    return {
+        "benchmark": "kernel_backend",
+        "world": {
+            "n_sources": dataset.n_sources,
+            "n_items": dataset.n_items,
+            "n_values": dataset.n_values,
+            "index_entries": index.n_entries,
+            "incidences": incidences,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "timings_seconds": timings,
+        "check": {
+            "target": "index_scan speedup >= 3x",
+            "passed": timings["index_scan"]["speedup"] >= 3.0,
+        },
+    }
+
+
+def main() -> int:
+    report = run()
+    OUTPUT_PATH.parent.mkdir(exist_ok=True)
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    for name, pair in report["timings_seconds"].items():
+        print(
+            f"{name:16s} python={pair['python']:.4f}s "
+            f"numpy={pair['numpy']:.4f}s speedup={pair['speedup']:.1f}x"
+        )
+    print(f"check: {report['check']['target']} -> passed={report['check']['passed']}")
+    print(f"artifact -> {OUTPUT_PATH}")
+    return 0 if report["check"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

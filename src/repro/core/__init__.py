@@ -36,7 +36,7 @@ from .index import EntryOrdering, IndexEntry, InvertedIndex
 from .index_algo import detect_index
 from .maxscore import max_score, max_score_bruteforce
 from .pairwise import detect_pairwise
-from .params import CopyParams
+from .params import BACKENDS, CopyParams
 from .popularity import (
     detect_pairwise_popular,
     estimate_relative_popularity,
@@ -46,7 +46,29 @@ from .popularity import (
 )
 from .result import CostCounter, DetectionResult, PairDecision
 
+#: Names re-exported lazily from .kernel: importing repro.core must not
+#: require NumPy (only the opt-in ``backend="numpy"`` paths do).
+_KERNEL_EXPORTS = frozenset(
+    {
+        "ColumnarEntries",
+        "PairTable",
+        "entry_triangle_scores",
+        "scan_columnar",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _KERNEL_EXPORTS:
+        from . import kernel
+
+        return getattr(kernel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "BACKENDS",
+    "ColumnarEntries",
     "CopyParams",
     "CopyPosterior",
     "CostCounter",
@@ -61,6 +83,7 @@ __all__ = [
     "METHODS",
     "PairBookkeeping",
     "PairDecision",
+    "PairTable",
     "PairExplanation",
     "RoundStats",
     "ScanOutcome",
@@ -73,6 +96,7 @@ __all__ = [
     "detect_pairwise",
     "detect_pairwise_popular",
     "different_value_score",
+    "entry_triangle_scores",
     "explain_pair",
     "estimate_relative_popularity",
     "incremental_round",
@@ -88,5 +112,6 @@ __all__ = [
     "same_value_score",
     "same_value_scores_both",
     "same_value_scores_popular",
+    "scan_columnar",
     "scan_with_bounds",
 ]

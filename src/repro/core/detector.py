@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 import time
+from dataclasses import replace
 from typing import Sequence
 
 from ..data import Dataset
@@ -41,6 +42,27 @@ from .result import DetectionResult
 METHODS = ("pairwise", "index", "bound", "bound+", "hybrid")
 
 
+def _cached_shared_items(
+    cache: tuple[Dataset, dict] | None,
+    dataset: Dataset,
+    params: CopyParams,
+) -> tuple[Dataset, dict]:
+    """Shared-item counts, computed once per dataset (claims are static).
+
+    The cache is keyed by the dataset object itself (a strong reference),
+    not ``id(dataset)``: ids are recycled after garbage collection, so an
+    id-keyed cache can serve one dataset's counts to another.
+    """
+    if cache is not None and cache[0] is dataset:
+        return cache
+    if params.backend == "numpy":
+        from .kernel import count_shared_items_columnar as count
+    else:
+        from ..simjoin import count_shared_items as count
+
+    return (dataset, count(dataset))
+
+
 def detect(
     dataset: Dataset,
     probabilities: Sequence[float],
@@ -51,6 +73,7 @@ def detect(
     rng: random.Random | None = None,
     hybrid_threshold: int = DEFAULT_HYBRID_THRESHOLD,
     shared_items=None,
+    backend: str | None = None,
 ) -> DetectionResult:
     """Run one copy-detection round with the named algorithm.
 
@@ -66,6 +89,9 @@ def detect(
         shared_items: precomputed ``l(S1, S2)`` counts to reuse across
             rounds (the claims are static; see
             :meth:`InvertedIndex.build`).
+        backend: overrides ``params.backend`` (``"python"``/``"numpy"``)
+            for this call; affects ``pairwise`` and ``index`` (the BOUND
+            family is sequential by nature).
 
     Returns:
         The round's :class:`DetectionResult`, with ``elapsed_seconds``
@@ -76,9 +102,13 @@ def detect(
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+    if backend is not None and backend != params.backend:
+        params = replace(params, backend=backend)
     start = time.perf_counter()
     if method == "pairwise":
-        result = detect_pairwise(dataset, probabilities, accuracies, params)
+        result = detect_pairwise(
+            dataset, probabilities, accuracies, params, shared_items=shared_items
+        )
     else:
         from .index import InvertedIndex
 
@@ -126,24 +156,24 @@ class SingleRoundDetector:
         ordering: EntryOrdering = EntryOrdering.BY_CONTRIBUTION,
         rng: random.Random | None = None,
         hybrid_threshold: int = DEFAULT_HYBRID_THRESHOLD,
+        backend: str | None = None,
     ):
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+        if backend is not None and backend != params.backend:
+            params = replace(params, backend=backend)
         self.params = params
         self.method = method
         self.ordering = ordering
         self.rng = rng
         self.hybrid_threshold = hybrid_threshold
-        self._shared_items_cache: tuple[int, dict] | None = None
+        self._shared_items_cache: tuple[Dataset, dict] | None = None
 
     def _shared_items(self, dataset: Dataset):
-        """Shared-item counts, computed once per dataset (claims are static)."""
-        if self._shared_items_cache is None or self._shared_items_cache[0] != id(
-            dataset
-        ):
-            from ..simjoin import count_shared_items
-
-            self._shared_items_cache = (id(dataset), count_shared_items(dataset))
+        """Per-dataset shared-item counts (see :func:`_cached_shared_items`)."""
+        self._shared_items_cache = _cached_shared_items(
+            self._shared_items_cache, dataset, self.params
+        )
         return self._shared_items_cache[1]
 
     def run_round(
@@ -154,7 +184,13 @@ class SingleRoundDetector:
         accuracies: Sequence[float],
     ) -> DetectionResult:
         """Detect copying for one fusion round (``round_no`` is 1-based)."""
-        shared = None if self.method == "pairwise" else self._shared_items(dataset)
+        # PAIRWISE's Python reference never consults the counts; the
+        # numpy backend uses them for the different-value penalty.
+        shared = (
+            None
+            if self.method == "pairwise" and self.params.backend == "python"
+            else self._shared_items(dataset)
+        )
         return detect(
             dataset,
             probabilities,
@@ -188,7 +224,13 @@ class IncrementalDetector:
         rho_value: float = 1.0,
         rho_accuracy: float = 0.2,
         prepare_round: int = 2,
+        backend: str | None = None,
     ):
+        if backend is not None and backend != params.backend:
+            # HYBRID/INCREMENTAL scans are sequential (early termination),
+            # so the switch is inert today; it is accepted and stored on
+            # the params so future vectorized rounds inherit it.
+            params = replace(params, backend=backend)
         self.params = params
         self.ordering = ordering
         self.hybrid_threshold = hybrid_threshold
@@ -196,16 +238,13 @@ class IncrementalDetector:
         self.rho_accuracy = rho_accuracy
         self.prepare_round = prepare_round
         self.state: IncrementalState | None = None
-        self._shared_items_cache: tuple[int, dict] | None = None
+        self._shared_items_cache: tuple[Dataset, dict] | None = None
 
     def _shared_items(self, dataset: Dataset):
-        """Shared-item counts, computed once per dataset (claims are static)."""
-        if self._shared_items_cache is None or self._shared_items_cache[0] != id(
-            dataset
-        ):
-            from ..simjoin import count_shared_items
-
-            self._shared_items_cache = (id(dataset), count_shared_items(dataset))
+        """Per-dataset shared-item counts (see :func:`_cached_shared_items`)."""
+        self._shared_items_cache = _cached_shared_items(
+            self._shared_items_cache, dataset, self.params
+        )
         return self._shared_items_cache[1]
 
     def run_round(

@@ -24,7 +24,9 @@ library (it runs once per (pair, shared value) incidence), so Eq. (6) is
 inlined with per-provider terms hoisted out of the inner loop and pair
 state lives in flat lists keyed by a single integer.  The inlined math is
 checked against :func:`repro.core.contribution.same_value_scores_both` by
-the test suite.
+the test suite.  With ``params.backend == "numpy"`` the whole scan is
+instead delegated to the vectorized kernel (:mod:`repro.core.kernel`);
+the Python loop below stays as the bit-exact reference.
 """
 
 from __future__ import annotations
@@ -67,6 +69,8 @@ def detect_index(
         index = InvertedIndex.build(
             dataset, probabilities, accuracies, params, ordering=ordering
         )
+    if params.backend == "numpy":
+        return _detect_index_numpy(dataset, accuracies, params, index)
     n_sources = dataset.n_sources
     clamp = params.clamp_accuracy
     acc = [clamp(a) for a in accuracies]
@@ -131,6 +135,42 @@ def detect_index(
         computations=2 * incidences + 2 * len(state),
         values_examined=incidences,
         pairs_considered=len(state),
+    )
+    return DetectionResult(
+        method="index",
+        n_sources=n_sources,
+        decisions=decisions,
+        cost=cost,
+    )
+
+
+def _detect_index_numpy(
+    dataset: Dataset,
+    accuracies: Sequence[float],
+    params: CopyParams,
+    index: InvertedIndex,
+) -> DetectionResult:
+    """INDEX via the vectorized kernel; verdicts match the Python scan.
+
+    Tail entries are scanned together with the rest; the skip rule is
+    applied at reduction time by dropping pairs that never co-occur in a
+    non-tail entry — equivalent to the sequential rule because the tail
+    is processed last, so a pair is "already opened" at a tail entry
+    exactly when some non-tail entry contains it.
+    """
+    from .kernel import ColumnarEntries, decide_pairs, scan_columnar
+
+    n_sources = dataset.n_sources
+    cols = ColumnarEntries.from_index(index)
+    table = scan_columnar(cols, accuracies, params, n_sources)
+    decisions = decide_pairs(table, index.shared_items, params, require_main=True)
+    # Mirror the Python scan's accounting: incidences of never-opened
+    # (tail-only) pairs are skipped, not counted.
+    kept_incidences = int(table.n_shared[table.saw_main].sum())
+    cost = CostCounter(
+        computations=2 * kept_incidences + 2 * len(decisions),
+        values_examined=kept_incidences,
+        pairs_considered=len(decisions),
     )
     return DetectionResult(
         method="index",

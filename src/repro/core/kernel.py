@@ -1,0 +1,549 @@
+"""NumPy-vectorized scoring kernel shared by PAIRWISE, INDEX and the engine.
+
+The hot path of every non-early-terminating detector is the *entry scan*:
+for each inverted-index entry (a value provided by ``k >= 2`` sources),
+add Eq. (6)'s forward/backward log-contributions to every one of the
+``k*(k-1)/2`` provider pairs.  The pure-Python implementations in
+:mod:`repro.core.index_algo`, :mod:`repro.core.pairwise` and
+:mod:`repro.parallel.engine` do this with nested loops and dict-keyed
+accumulators — one dict probe and two ``math.log`` calls per
+(pair, shared value) incidence.  This module performs the same
+computation columnarly:
+
+1. **Columnar entries** (:class:`ColumnarEntries`): an entry set is four
+   flat arrays — per-entry probability, per-entry main/tail flag, provider
+   ids concatenated, and CSR-style offsets.  This is also the payload the
+   parallel engine ships to worker processes (far cheaper to pickle than
+   per-entry tuples of Python lists).
+2. **Incidence expansion** (:func:`expand_incidences`): entries are
+   grouped by provider count ``k`` so each group's upper triangle is
+   produced by one fancy-indexing broadcast (``np.triu_indices``), giving
+   flat ``(src1, src2, probability, main)`` streams over *all* incidences.
+3. **Scoring** (:func:`score_incidences` / :func:`entry_triangle_scores`):
+   ``p*a_i*a_j + (q/n)*(1-a_i)*(1-a_j)`` is broadcast over the provider
+   arrays and the forward/backward contributions come out of a single
+   ``np.log`` per direction over the whole stream — no per-incidence
+   Python bytecode at all.
+4. **Flat-array pair accumulation** (:class:`PairTable`): pairs are keyed
+   by the single integer ``s1 * n_sources + s2`` (``s1 < s2``).  The
+   incidence stream is reduced with ``np.unique(keys)`` +
+   ``np.add.at`` into dense per-pair arrays instead of churning a Python
+   dict: ``keys`` holds the sorted unique pair keys and ``c_fwd`` /
+   ``c_bwd`` / ``n_shared`` / ``saw_main`` are aligned with it.  Because
+   the reduction is a plain sum, tables from disjoint entry shares merge
+   associatively (:meth:`PairTable.merge`) — which is exactly what the
+   map/reduce engine needs.
+
+The pure-Python loops are deliberately **kept** as the reference
+implementation (``backend="python"`` on :class:`~repro.core.params.CopyParams`,
+the default): they are the bit-exactness anchor the property tests compare
+against (the vectorized path reorders floating-point additions, so
+agreement is asserted to 1e-9 rather than bit-identity), they document the
+paper's algorithms line-by-line, and they keep :mod:`repro.core` free of
+NumPy at import time (this module is loaded lazily, only when a numpy
+backend is actually requested).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .contribution import CopyPosterior
+from .params import CopyParams
+from .result import PairDecision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..data import Dataset
+    from .index import InvertedIndex
+
+#: Largest flat pair-key space (``n_sources ** 2``) reduced with the
+#: dense ``np.bincount`` scatter; beyond it (> ~2k sources) the
+#: sort-based ``np.unique`` + ``np.add.at`` path keeps memory bounded by
+#: the number of *observed* pairs instead.
+DENSE_KEY_SPACE = 1 << 22
+
+
+@dataclass
+class ColumnarEntries:
+    """A set of index entries in struct-of-arrays (columnar) layout.
+
+    Attributes:
+        probs: ``P(D.v)`` per entry, shape ``(E,)``.
+        main: True for non-tail entries, shape ``(E,)``.
+        offsets: CSR offsets into ``providers``, shape ``(E + 1,)``.
+        providers: concatenated provider ids, shape ``(offsets[-1],)``.
+    """
+
+    probs: np.ndarray
+    main: np.ndarray
+    offsets: np.ndarray
+    providers: np.ndarray
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.probs)
+
+    @classmethod
+    def _from_rows(
+        cls,
+        probs: list[float],
+        main: list[bool],
+        provider_lists: list[list[int]],
+    ) -> "ColumnarEntries":
+        counts = np.fromiter(
+            (len(p) for p in provider_lists), dtype=np.int64, count=len(provider_lists)
+        )
+        offsets = np.zeros(len(provider_lists) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        flat: list[int] = []
+        for providers in provider_lists:
+            flat.extend(providers)
+        return cls(
+            probs=np.asarray(probs, dtype=np.float64),
+            main=np.asarray(main, dtype=bool),
+            offsets=offsets,
+            providers=np.asarray(flat, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_index(
+        cls, index: "InvertedIndex", positions: Sequence[int] | None = None
+    ) -> "ColumnarEntries":
+        """Columnarize ``index.entries`` (or a subset, for partitions).
+
+        Args:
+            index: the built inverted index.
+            positions: entry positions to include (the parallel engine's
+                partition payloads); all entries when omitted.
+        """
+        tail_start = index.tail_start
+        entries = index.entries
+        if positions is None:
+            positions = range(len(entries))
+        probs = [entries[pos].probability for pos in positions]
+        main = [pos < tail_start for pos in positions]
+        provider_lists = [entries[pos].providers for pos in positions]
+        return cls._from_rows(probs, main, provider_lists)
+
+    @classmethod
+    def from_value_groups(
+        cls, dataset: "Dataset", probabilities: Sequence[float]
+    ) -> "ColumnarEntries":
+        """Columnarize every multi-provider value of a dataset.
+
+        This is PAIRWISE's view of the world: no index, no tail — every
+        shared value contributes, so ``main`` is all-True.
+        """
+        probs: list[float] = []
+        provider_lists: list[list[int]] = []
+        for value_id, providers in enumerate(dataset.providers):
+            if len(providers) < 2:
+                continue
+            probs.append(probabilities[value_id])
+            provider_lists.append(providers)
+        return cls._from_rows(probs, [True] * len(probs), provider_lists)
+
+
+def expand_incidences(
+    cols: ColumnarEntries,
+    with_meta: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Expand entries into flat per-incidence streams.
+
+    Entries are grouped by provider count ``k``; each group's full upper
+    triangle is produced by one broadcast, so the Python-level loop runs
+    once per *distinct k*, not once per entry.
+
+    Args:
+        cols: the columnar entries.
+        with_meta: also expand the per-entry probability and main flag
+            to per-incidence streams.  Pass False on counting-only paths
+            (the meta streams are the dominant allocation and would be
+            discarded).
+
+    Returns:
+        ``(src1, src2, probs, main)`` — for every (pair, shared value)
+        incidence, the smaller/larger provider id, the entry probability
+        and the entry's main flag (``probs``/``main`` stay empty when
+        ``with_meta`` is False).  Empty arrays when no entry has two
+        providers.
+    """
+    counts = np.diff(cols.offsets)
+    src1_parts: list[np.ndarray] = []
+    src2_parts: list[np.ndarray] = []
+    prob_parts: list[np.ndarray] = []
+    main_parts: list[np.ndarray] = []
+    for k in np.unique(counts):
+        if k < 2:
+            continue
+        rows = np.nonzero(counts == k)[0]
+        starts = cols.offsets[rows]
+        mat = cols.providers[starts[:, None] + np.arange(k)]
+        iu, ju = np.triu_indices(int(k), 1)
+        a = mat[:, iu].ravel()
+        b = mat[:, ju].ravel()
+        # Providers are sorted per entry, but normalise anyway so the
+        # pair key is always (min, max).
+        src1_parts.append(np.minimum(a, b))
+        src2_parts.append(np.maximum(a, b))
+        if with_meta:
+            t = len(iu)
+            prob_parts.append(np.repeat(cols.probs[rows], t))
+            main_parts.append(np.repeat(cols.main[rows], t))
+    empty_probs = np.empty(0)
+    empty_main = np.empty(0, dtype=bool)
+    if not src1_parts:
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_i, empty_i.copy(), empty_probs, empty_main
+    return (
+        np.concatenate(src1_parts),
+        np.concatenate(src2_parts),
+        np.concatenate(prob_parts) if with_meta else empty_probs,
+        np.concatenate(main_parts) if with_meta else empty_main,
+    )
+
+
+def clamp_accuracies(accuracies: Sequence[float], params: CopyParams) -> np.ndarray:
+    """Vectorized :meth:`CopyParams.clamp_accuracy` over a source array."""
+    return np.clip(
+        np.asarray(accuracies, dtype=np.float64),
+        params.accuracy_clamp,
+        1.0 - params.accuracy_clamp,
+    )
+
+
+def score_incidences(
+    probs: np.ndarray,
+    acc1: np.ndarray,
+    acc2: np.ndarray,
+    params: CopyParams,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eq. (6) in both directions over an incidence stream.
+
+    Args:
+        probs: ``P(D.v)`` per incidence.
+        acc1: clamped accuracy of the smaller-id provider per incidence.
+        acc2: clamped accuracy of the larger-id provider per incidence.
+        params: model parameters.
+
+    Returns:
+        ``(fwd, bwd)`` — the ``C->`` / ``C<-`` log-contributions.
+    """
+    s = params.s
+    one_minus_s = 1.0 - s
+    q = 1.0 - probs
+    denom = probs * acc1 * acc2 + (q / params.n) * (1.0 - acc1) * (1.0 - acc2)
+    fwd = np.log(one_minus_s + s * (probs * acc2 + q * (1.0 - acc2)) / denom)
+    bwd = np.log(one_minus_s + s * (probs * acc1 + q * (1.0 - acc1)) / denom)
+    return fwd, bwd
+
+
+def entry_triangle_scores(
+    p_true: float,
+    accuracies: Sequence[float],
+    params: CopyParams,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full ``k x k`` upper triangle of one entry's contributions.
+
+    Broadcasts ``p*a_i*a_j + (q/n)*(1-a_i)*(1-a_j)`` over the provider
+    accuracies and takes a single ``np.log`` per direction — the
+    one-entry building block the batch path generalises.
+
+    Args:
+        p_true: the entry's ``P(D.v)``.
+        accuracies: raw accuracies of the entry's ``k`` providers.
+        params: model parameters.
+
+    Returns:
+        ``(fwd, bwd)`` flattened in ``np.triu_indices(k, 1)`` order:
+        ``fwd[m]`` is ``C(S_i -> S_j)(D)`` for the m-th pair ``(i, j)``,
+        ``bwd[m]`` the opposite direction.
+    """
+    a = clamp_accuracies(accuracies, params)
+    q = 1.0 - p_true
+    s = params.s
+    singles = p_true * a + q * (1.0 - a)
+    denom = p_true * np.outer(a, a) + (q / params.n) * np.outer(1.0 - a, 1.0 - a)
+    full = np.log(1.0 - s + s * singles[None, :] / denom)
+    iu = np.triu_indices(len(a), 1)
+    # full[i, j] scores "i copies j" (uses pr_single of j); its transpose
+    # scores the opposite direction (denom is symmetric).
+    return full[iu], full.T[iu]
+
+
+@dataclass
+class PairTable:
+    """Per-pair accumulators in flat-array layout.
+
+    Pairs are keyed by ``s1 * n_sources + s2`` with ``s1 < s2``; ``keys``
+    is sorted and unique, and the value arrays are aligned with it.
+
+    Attributes:
+        n_sources: key stride (needed to decode keys back into pairs).
+        keys: unique pair keys, sorted ascending.
+        c_fwd: accumulated ``C->`` per pair.
+        c_bwd: accumulated ``C<-`` per pair.
+        n_shared: number of shared-value incidences per pair.
+        saw_main: True when at least one incidence came from a non-tail
+            entry (INDEX opens only such pairs).
+    """
+
+    n_sources: int
+    keys: np.ndarray
+    c_fwd: np.ndarray
+    c_bwd: np.ndarray
+    n_shared: np.ndarray
+    saw_main: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @classmethod
+    def empty(cls, n_sources: int) -> "PairTable":
+        return cls(
+            n_sources=n_sources,
+            keys=np.empty(0, dtype=np.int64),
+            c_fwd=np.empty(0),
+            c_bwd=np.empty(0),
+            n_shared=np.empty(0, dtype=np.int64),
+            saw_main=np.empty(0, dtype=bool),
+        )
+
+    @classmethod
+    def _reduce_keyed(
+        cls,
+        n_sources: int,
+        keys: np.ndarray,
+        fwd: np.ndarray,
+        bwd: np.ndarray,
+        incidence_counts: np.ndarray,
+        main: np.ndarray,
+    ) -> "PairTable":
+        """Scatter-add a keyed stream into compact per-pair arrays.
+
+        Two strategies, same result:
+
+        * **dense** (``n_sources**2 <= DENSE_KEY_SPACE``): scatter
+          directly into the full flat key space with ``np.bincount`` and
+          compact the occupied slots — no sort, O(stream + key space);
+        * **sparse**: ``np.unique`` compacts the keys first and the sums
+          land via ``np.add.at`` on the compacted arrays.
+
+        Either way this is the vectorized replacement for the Python
+        backend's per-incidence dict churn (``cell[0] += ...``).
+        """
+        if len(keys) == 0:
+            return cls.empty(n_sources)
+        key_space = n_sources * n_sources
+        main_f = main.astype(np.float64)
+        counts_f = incidence_counts.astype(np.float64)
+        if key_space <= DENSE_KEY_SPACE:
+            # Occupancy comes from key *presence*, not incidence counts:
+            # merged tables may carry pairs with zero incidences (e.g.
+            # PAIRWISE's pure-penalty rows) that must survive.
+            present = np.bincount(keys, minlength=key_space)
+            uniq = np.nonzero(present)[0]
+            c_fwd = np.bincount(keys, weights=fwd, minlength=key_space)[uniq]
+            c_bwd = np.bincount(keys, weights=bwd, minlength=key_space)[uniq]
+            n_shared = np.bincount(keys, weights=counts_f, minlength=key_space)[
+                uniq
+            ].astype(np.int64)
+            saw_main = (
+                np.bincount(keys, weights=main_f, minlength=key_space)[uniq] > 0.0
+            )
+        else:
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            c_fwd = np.zeros(len(uniq))
+            c_bwd = np.zeros(len(uniq))
+            np.add.at(c_fwd, inverse, fwd)
+            np.add.at(c_bwd, inverse, bwd)
+            n_shared = np.zeros(len(uniq))
+            np.add.at(n_shared, inverse, counts_f)
+            n_shared = n_shared.astype(np.int64)
+            saw_main = np.zeros(len(uniq))
+            np.add.at(saw_main, inverse, main_f)
+            saw_main = saw_main > 0.0
+        return cls(
+            n_sources=n_sources,
+            keys=uniq,
+            c_fwd=c_fwd,
+            c_bwd=c_bwd,
+            n_shared=n_shared,
+            saw_main=saw_main,
+        )
+
+    @classmethod
+    def from_incidences(
+        cls,
+        n_sources: int,
+        keys: np.ndarray,
+        fwd: np.ndarray,
+        bwd: np.ndarray,
+        main: np.ndarray,
+    ) -> "PairTable":
+        """Reduce an incidence stream to per-pair accumulators."""
+        return cls._reduce_keyed(
+            n_sources, keys, fwd, bwd, np.ones(len(keys), dtype=np.int64), main
+        )
+
+    @classmethod
+    def merge(cls, tables: Sequence["PairTable"]) -> "PairTable":
+        """Associatively merge partial tables (the engine's reduce step)."""
+        tables = [t for t in tables if len(t)]
+        if not tables:
+            raise ValueError("cannot merge zero non-empty tables")
+        n_sources = tables[0].n_sources
+        if any(t.n_sources != n_sources for t in tables):
+            raise ValueError("cannot merge tables with different key strides")
+        if len(tables) == 1:
+            return tables[0]
+        return cls._reduce_keyed(
+            n_sources,
+            np.concatenate([t.keys for t in tables]),
+            np.concatenate([t.c_fwd for t in tables]),
+            np.concatenate([t.c_bwd for t in tables]),
+            np.concatenate([t.n_shared for t in tables]),
+            np.concatenate([t.saw_main for t in tables]),
+        )
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """Decode ``keys`` back into ``(s1, s2)`` id pairs."""
+        s1 = (self.keys // self.n_sources).tolist()
+        s2 = (self.keys % self.n_sources).tolist()
+        return list(zip(s1, s2))
+
+
+def scan_columnar(
+    cols: ColumnarEntries,
+    accuracies: Sequence[float],
+    params: CopyParams,
+    n_sources: int,
+) -> PairTable:
+    """The vectorized entry scan: columnar entries in, pair table out.
+
+    Top-level (picklable) so the parallel engine can submit it directly
+    to worker processes.
+    """
+    src1, src2, probs, main = expand_incidences(cols)
+    acc = clamp_accuracies(accuracies, params)
+    fwd, bwd = score_incidences(probs, acc[src1], acc[src2], params)
+    keys = src1 * np.int64(n_sources) + src2
+    return PairTable.from_incidences(n_sources, keys, fwd, bwd, main)
+
+
+def count_shared_items_columnar(dataset: "Dataset") -> dict[tuple[int, int], int]:
+    """Vectorized ``l(S1, S2)`` counting (see :func:`repro.simjoin.count_shared_items`).
+
+    Items play the role of entries: each item's provider set expands to
+    its pair triangle and one dense bincount tallies the co-occurrence
+    counts.  Produces exactly the same mapping as the inverted-list join
+    in :mod:`repro.simjoin`, an order of magnitude faster on dense worlds.
+    """
+    provider_lists: list[list[int]] = [[] for _ in range(dataset.n_items)]
+    for source_id, claim in enumerate(dataset.claims):
+        for item_id in claim:
+            provider_lists[item_id].append(source_id)
+    provider_lists = [p for p in provider_lists if len(p) >= 2]
+    if not provider_lists:
+        return {}
+    cols = ColumnarEntries._from_rows(
+        [0.0] * len(provider_lists), [True] * len(provider_lists), provider_lists
+    )
+    src1, src2, _, _ = expand_incidences(cols, with_meta=False)
+    n_sources = dataset.n_sources
+    keys = src1 * np.int64(n_sources) + src2
+    key_space = n_sources * n_sources
+    if key_space <= DENSE_KEY_SPACE:
+        dense = np.bincount(keys, minlength=key_space)
+        uniq = np.nonzero(dense)[0]
+        counts = dense[uniq]
+    else:
+        uniq, counts = np.unique(keys, return_counts=True)
+    s1 = (uniq // n_sources).tolist()
+    s2 = (uniq % n_sources).tolist()
+    return dict(zip(zip(s1, s2), counts.tolist()))
+
+
+def posterior_arrays(
+    c_fwd: np.ndarray, c_bwd: np.ndarray, params: CopyParams
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized Eq. (2): the three-way posterior per pair.
+
+    Same max-shift stabilisation as :func:`repro.core.contribution.posterior`.
+
+    Returns:
+        ``(independent, forward, backward)`` probability arrays.
+    """
+    log_beta = math.log(params.beta)
+    log_alpha = math.log(params.alpha)
+    t1 = log_alpha + c_fwd
+    t2 = log_alpha + c_bwd
+    shift = np.maximum(np.maximum(t1, t2), log_beta)
+    e0 = np.exp(log_beta - shift)
+    e1 = np.exp(t1 - shift)
+    e2 = np.exp(t2 - shift)
+    total = e0 + e1 + e2
+    return e0 / total, e1 / total, e2 / total
+
+
+def decide_pairs(
+    table: PairTable,
+    shared_items,
+    params: CopyParams,
+    require_main: bool = True,
+) -> dict[tuple[int, int], PairDecision]:
+    """Finalize a pair table into INDEX-style verdicts.
+
+    Applies the different-value penalty ``ln(1-s) * (l - n)`` and Eq. (2)
+    to every pair (dropping tail-only pairs when ``require_main``); the
+    posteriors come from the vectorized :func:`posterior_arrays`, which
+    performs the same stabilised computation as the scalar
+    :func:`~repro.core.contribution.posterior`.
+
+    Args:
+        table: accumulated per-pair scores.
+        shared_items: ``l(S1, S2)`` counts keyed by sorted id pairs.
+        params: model parameters.
+        require_main: drop pairs never seen in a non-tail entry (INDEX's
+            skip rule); pass False to decide every accumulated pair.
+    """
+    if require_main and not table.saw_main.all():
+        keep = table.saw_main
+        table = PairTable(
+            n_sources=table.n_sources,
+            keys=table.keys[keep],
+            c_fwd=table.c_fwd[keep],
+            c_bwd=table.c_bwd[keep],
+            n_shared=table.n_shared[keep],
+            saw_main=table.saw_main[keep],
+        )
+    pairs = table.pairs()
+    ln_diff = params.ln_one_minus_s
+    n_diff = np.fromiter(
+        (shared_items[pair] for pair in pairs), dtype=np.int64, count=len(pairs)
+    ) - table.n_shared
+    c_fwd = table.c_fwd + n_diff * ln_diff
+    c_bwd = table.c_bwd + n_diff * ln_diff
+    independent, forward, backward = posterior_arrays(c_fwd, c_bwd, params)
+    decisions: dict[tuple[int, int], PairDecision] = {}
+    for pair, cf, cb, p_ind, p_fwd, p_bwd in zip(
+        pairs,
+        c_fwd.tolist(),
+        c_bwd.tolist(),
+        independent.tolist(),
+        forward.tolist(),
+        backward.tolist(),
+    ):
+        post = CopyPosterior(independent=p_ind, forward=p_fwd, backward=p_bwd)
+        decisions[pair] = PairDecision(
+            c_fwd=cf,
+            c_bwd=cb,
+            posterior=post,
+            copying=post.copying,
+            early=False,
+        )
+    return decisions

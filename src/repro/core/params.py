@@ -22,6 +22,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+#: Score-accumulation backends accepted by :attr:`CopyParams.backend`
+#: (and every ``backend=`` parameter downstream).  Lives here rather
+#: than in :mod:`repro.core.kernel` so validation never imports NumPy.
+BACKENDS = ("python", "numpy")
+
 
 @dataclass(frozen=True)
 class CopyParams:
@@ -38,12 +43,20 @@ class CopyParams:
             ``[accuracy_clamp, 1 - accuracy_clamp]`` before any log/ratio
             computation so that scores stay finite (sources with accuracy
             exactly 0 or 1 would otherwise produce infinities).
+        backend: score-accumulation backend for the exhaustive scans.
+            ``"python"`` (default) runs the pure-Python reference loops;
+            ``"numpy"`` routes PAIRWISE, INDEX and the parallel engine
+            through the vectorized kernel (:mod:`repro.core.kernel`),
+            which agrees with the reference to within float re-association
+            error (property-tested at 1e-9).  The early-terminating BOUND
+            family is inherently sequential and ignores the switch.
     """
 
     alpha: float = 0.1
     s: float = 0.8
     n: int = 50
     accuracy_clamp: float = 0.005
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha < 0.5:
@@ -55,6 +68,10 @@ class CopyParams:
         if not 0.0 < self.accuracy_clamp < 0.5:
             raise ValueError(
                 f"accuracy_clamp must be in (0, 0.5), got {self.accuracy_clamp}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
 
     @property

@@ -1,0 +1,8 @@
+"""Test package marker.
+
+Making ``tests`` a real package serves two purposes: pytest collects all
+modules regardless of the current working directory, and the shared
+hypothesis strategies in :mod:`tests.strategies` can be imported with a
+package-safe absolute import (``from tests.strategies import worlds``)
+instead of a relative import that breaks under rootdir-less invocation.
+"""

@@ -11,7 +11,7 @@ from repro.core import (
     detect_index,
     detect_pairwise,
 )
-from .strategies import worlds
+from tests.strategies import worlds
 
 
 class TestExample42:

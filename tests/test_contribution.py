@@ -16,7 +16,7 @@ from repro.core import (
     same_value_score,
     same_value_scores_both,
 )
-from .strategies import accuracies, probabilities
+from tests.strategies import accuracies, probabilities
 
 
 class TestEquation3:

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 
 from repro.data import Dataset, DatasetBuilder
-from .strategies import datasets
+from tests.strategies import datasets
 
 
 class TestBuilder:

@@ -97,3 +97,59 @@ class TestIncrementalDetector:
         )
         assert detector.state is not None
         assert result.method == "hybrid"
+
+
+class TestSharedItemsCache:
+    """Regression: the shared-items cache must key on the dataset object.
+
+    The original implementation keyed on ``id(dataset)``; ids are
+    recycled once a dataset is garbage collected, so a fresh dataset
+    allocated at the same address silently inherited the previous
+    dataset's counts.  A strong reference both prevents the recycling
+    and makes the comparison exact.
+    """
+
+    @pytest.mark.parametrize("detector_cls", [SingleRoundDetector, IncrementalDetector])
+    def test_cache_holds_strong_reference(
+        self, example, example_probabilities, example_accuracies, params, detector_cls
+    ):
+        if detector_cls is SingleRoundDetector:
+            detector = detector_cls(params, method="index")
+        else:
+            detector = detector_cls(params)
+        counts = detector._shared_items(example)
+        assert detector._shared_items_cache is not None
+        cached_dataset, cached_counts = detector._shared_items_cache
+        assert cached_dataset is example  # strong ref, not an id snapshot
+        assert cached_counts is counts
+        # Same object: cache hit returns the identical mapping.
+        assert detector._shared_items(example) is counts
+
+    @pytest.mark.parametrize("detector_cls", [SingleRoundDetector, IncrementalDetector])
+    def test_distinct_datasets_get_distinct_counts(
+        self, params, detector_cls
+    ):
+        from repro.data import DatasetBuilder
+
+        def build(n_items):
+            builder = DatasetBuilder()
+            for i in range(n_items):
+                builder.add("A", f"item{i}", "v")
+                builder.add("B", f"item{i}", "v")
+            return builder.build()
+
+        if detector_cls is SingleRoundDetector:
+            detector = detector_cls(params, method="index")
+        else:
+            detector = detector_cls(params)
+        first = build(2)
+        assert detector._shared_items(first) == {(0, 1): 2}
+        # Drop the first dataset entirely, then hand the detector a new
+        # one — under id() keying this is where a recycled address could
+        # serve the stale {(0, 1): 2} for a 3-item dataset.
+        del first
+        import gc
+
+        gc.collect()
+        second = build(3)
+        assert detector._shared_items(second) == {(0, 1): 3}

@@ -1,5 +1,6 @@
 """Every example script must run cleanly (small scales where supported)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,6 +8,22 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
+SRC = Path(__file__).parent.parent / "src"
+
+
+def _env_with_src() -> dict[str, str]:
+    """Child-process env with ``src`` on PYTHONPATH.
+
+    pytest's own ``pythonpath`` ini option only patches this process's
+    ``sys.path``; the example scripts run in fresh interpreters and must
+    find ``repro`` regardless of how pytest was invoked.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC}{os.pathsep}{existing}" if existing else str(SRC)
+    )
+    return env
 
 #: (script, extra argv) — scales dialed down to keep CI fast.
 CASES = [
@@ -26,6 +43,7 @@ def test_example_runs(script, argv):
         capture_output=True,
         text=True,
         timeout=180,
+        env=_env_with_src(),
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert completed.stdout.strip(), "examples must print something"

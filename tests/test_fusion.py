@@ -15,7 +15,7 @@ from repro.fusion import (
     vote,
     vote_probabilities,
 )
-from .strategies import worlds
+from tests.strategies import worlds
 
 
 def _simple_dataset():

@@ -13,7 +13,7 @@ from repro.core import (
     prepare_incremental,
 )
 from repro.fusion import FusionConfig, run_fusion
-from .strategies import worlds
+from tests.strategies import worlds
 
 
 def _drift(probs, rng_value, magnitude):

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 
 from repro.core import CopyParams, EntryOrdering, InvertedIndex
-from .strategies import worlds
+from tests.strategies import worlds
 
 
 def _build(example, example_probabilities, example_accuracies, params, **kw):

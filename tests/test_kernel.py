@@ -1,0 +1,235 @@
+"""The vectorized scoring kernel and backend equivalence.
+
+The numpy backend reorders floating-point additions, so scores are
+compared to the pure-Python reference at 1e-9; verdicts (the booleans the
+paper actually reports) must be *identical*.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy", reason="the vectorized backend needs numpy")
+
+from hypothesis import given, settings
+
+from repro.core import (
+    BACKENDS,
+    ColumnarEntries,
+    CopyParams,
+    InvertedIndex,
+    PairTable,
+    detect,
+    entry_triangle_scores,
+    same_value_scores_both,
+    scan_columnar,
+)
+from repro.core.kernel import count_shared_items_columnar, posterior_arrays
+from repro.core.contribution import posterior
+from repro.simjoin import count_shared_items
+from tests.strategies import worlds
+
+METHODS = ("pairwise", "index", "bound", "bound+", "hybrid")
+
+
+class TestEntryTriangle:
+    def test_matches_scalar_contribution(self, params):
+        """The broadcast Eq. (6) agrees with the scalar reference."""
+        p_true = 0.3
+        accs = [0.9, 0.6, 0.75, 0.2]
+        fwd, bwd = entry_triangle_scores(p_true, accs, params)
+        k = len(accs)
+        m = 0
+        for i in range(k):
+            for j in range(i + 1, k):
+                ref_fwd, ref_bwd = same_value_scores_both(
+                    p_true, accs[i], accs[j], params
+                )
+                assert fwd[m] == pytest.approx(ref_fwd, abs=1e-12)
+                assert bwd[m] == pytest.approx(ref_bwd, abs=1e-12)
+                m += 1
+        assert m == len(fwd) == len(bwd) == k * (k - 1) // 2
+
+    def test_clamps_extreme_accuracies(self, params):
+        fwd, bwd = entry_triangle_scores(0.5, [0.0, 1.0], params)
+        assert np.isfinite(fwd).all() and np.isfinite(bwd).all()
+
+
+class TestPairTable:
+    def test_accumulates_and_merges(self):
+        n_sources = 4
+        keys = np.array([1, 1, 2, 7], dtype=np.int64)  # pairs (0,1),(0,2),(1,3)
+        fwd = np.array([1.0, 2.0, 3.0, 4.0])
+        bwd = np.array([0.5, 0.5, 0.5, 0.5])
+        main = np.array([True, False, False, True])
+        table = PairTable.from_incidences(n_sources, keys, fwd, bwd, main)
+        assert table.keys.tolist() == [1, 2, 7]
+        assert table.c_fwd.tolist() == [3.0, 3.0, 4.0]
+        assert table.n_shared.tolist() == [2, 1, 1]
+        assert table.saw_main.tolist() == [True, False, True]
+        assert table.pairs() == [(0, 1), (0, 2), (1, 3)]
+
+        # Splitting the stream and merging must give the same table.
+        half_a = PairTable.from_incidences(
+            n_sources, keys[:2], fwd[:2], bwd[:2], main[:2]
+        )
+        half_b = PairTable.from_incidences(
+            n_sources, keys[2:], fwd[2:], bwd[2:], main[2:]
+        )
+        merged = PairTable.merge([half_a, half_b])
+        assert merged.keys.tolist() == table.keys.tolist()
+        assert merged.c_fwd.tolist() == table.c_fwd.tolist()
+        assert merged.n_shared.tolist() == table.n_shared.tolist()
+        assert merged.saw_main.tolist() == table.saw_main.tolist()
+
+    def test_sparse_path_matches_dense(self, monkeypatch):
+        """Forcing the np.unique path gives the same reduction."""
+        import repro.core.kernel as kernel
+
+        rng = np.random.default_rng(3)
+        n_sources = 30
+        keys = rng.integers(0, n_sources * n_sources, 500).astype(np.int64)
+        fwd = rng.normal(size=500)
+        bwd = rng.normal(size=500)
+        main = rng.random(500) < 0.5
+        dense = PairTable.from_incidences(n_sources, keys, fwd, bwd, main)
+        monkeypatch.setattr(kernel, "DENSE_KEY_SPACE", 0)
+        sparse = PairTable.from_incidences(n_sources, keys, fwd, bwd, main)
+        assert sparse.keys.tolist() == dense.keys.tolist()
+        np.testing.assert_allclose(sparse.c_fwd, dense.c_fwd, atol=1e-12)
+        np.testing.assert_allclose(sparse.c_bwd, dense.c_bwd, atol=1e-12)
+        assert sparse.n_shared.tolist() == dense.n_shared.tolist()
+        assert sparse.saw_main.tolist() == dense.saw_main.tolist()
+
+    def test_merge_rejects_mixed_strides(self):
+        a = PairTable.empty(3)
+        with pytest.raises(ValueError):
+            PairTable.merge([a])  # all empty
+        full = PairTable.from_incidences(
+            4,
+            np.array([1], dtype=np.int64),
+            np.array([1.0]),
+            np.array([1.0]),
+            np.array([True]),
+        )
+        other = PairTable.from_incidences(
+            5,
+            np.array([1], dtype=np.int64),
+            np.array([1.0]),
+            np.array([1.0]),
+            np.array([True]),
+        )
+        with pytest.raises(ValueError):
+            PairTable.merge([full, other])
+
+
+class TestColumnarEntries:
+    def test_from_index_roundtrip(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        index = InvertedIndex.build(
+            example, example_probabilities, example_accuracies, params
+        )
+        cols = ColumnarEntries.from_index(index)
+        assert cols.n_entries == index.n_entries
+        for pos, entry in enumerate(index.entries):
+            start, stop = cols.offsets[pos], cols.offsets[pos + 1]
+            assert cols.providers[start:stop].tolist() == entry.providers
+            assert cols.probs[pos] == entry.probability
+            assert bool(cols.main[pos]) == (pos < index.tail_start)
+
+    def test_scan_matches_python_state(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        """The kernel scan reproduces detect_index's accumulated state."""
+        index = InvertedIndex.build(
+            example, example_probabilities, example_accuracies, params
+        )
+        cols = ColumnarEntries.from_index(index)
+        table = scan_columnar(cols, example_accuracies, params, example.n_sources)
+        reference = detect(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            method="index",
+        )
+        opened = {
+            pair for pair, main in zip(table.pairs(), table.saw_main.tolist()) if main
+        }
+        assert opened == set(reference.decisions)
+
+
+class TestSharedItemsColumnar:
+    @settings(max_examples=50, deadline=None)
+    @given(world=worlds())
+    def test_matches_simjoin(self, world):
+        dataset, _, _ = world
+        assert count_shared_items_columnar(dataset) == count_shared_items(dataset)
+
+
+class TestPosteriorArrays:
+    def test_matches_scalar(self, params):
+        rng = np.random.default_rng(7)
+        c_fwd = rng.uniform(-50.0, 500.0, 64)
+        c_bwd = rng.uniform(-50.0, 500.0, 64)
+        ind, fwd, bwd = posterior_arrays(c_fwd, c_bwd, params)
+        for m in range(len(c_fwd)):
+            ref = posterior(c_fwd[m], c_bwd[m], params)
+            assert ind[m] == pytest.approx(ref.independent, abs=1e-12)
+            assert fwd[m] == pytest.approx(ref.forward, abs=1e-12)
+            assert bwd[m] == pytest.approx(ref.backward, abs=1e-12)
+
+
+class TestBackendEquivalence:
+    """The acceptance property: both backends agree on every method."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(world=worlds())
+    @pytest.mark.parametrize("method", METHODS)
+    def test_verdicts_and_posteriors_agree(self, world, method):
+        dataset, probs, accs = world
+        reference = detect(
+            dataset, probs, accs, CopyParams(backend="python"), method=method
+        )
+        vectorized = detect(
+            dataset, probs, accs, CopyParams(backend="numpy"), method=method
+        )
+        assert set(vectorized.decisions) == set(reference.decisions)
+        for pair, ref in reference.decisions.items():
+            vec = vectorized.decisions[pair]
+            assert vec.copying == ref.copying
+            assert vec.c_fwd == pytest.approx(ref.c_fwd, abs=1e-9)
+            assert vec.c_bwd == pytest.approx(ref.c_bwd, abs=1e-9)
+            assert vec.posterior.independent == pytest.approx(
+                ref.posterior.independent, abs=1e-9
+            )
+            assert vec.posterior.forward == pytest.approx(
+                ref.posterior.forward, abs=1e-9
+            )
+            assert vec.posterior.backward == pytest.approx(
+                ref.posterior.backward, abs=1e-9
+            )
+
+    @pytest.mark.parametrize("method", ("pairwise", "index"))
+    def test_cost_accounting_matches_on_example(
+        self, example, example_probabilities, example_accuracies, params, method
+    ):
+        """The numpy backend reproduces the paper's computation counts."""
+        ref = detect(
+            example, example_probabilities, example_accuracies, params, method=method
+        )
+        vec = detect(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            method=method,
+            backend="numpy",
+        )
+        assert vec.cost.computations == ref.cost.computations
+        assert vec.cost.values_examined == ref.cost.values_examined
+        assert vec.cost.pairs_considered == ref.cost.pairs_considered
+
+    def test_backend_validation(self):
+        with pytest.raises(ValueError):
+            CopyParams(backend="fortran")
+        assert set(BACKENDS) == {"python", "numpy"}

@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import CopyParams, max_score, max_score_bruteforce
-from .strategies import accuracies, probabilities
+from tests.strategies import accuracies, probabilities
 
 
 class TestKnownValues:

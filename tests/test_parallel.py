@@ -10,7 +10,7 @@ from repro.parallel import (
     partition_entries,
     partition_weights,
 )
-from .strategies import worlds
+from tests.strategies import worlds
 
 
 def _example_index(example, example_probabilities, example_accuracies, params):
@@ -160,3 +160,97 @@ class TestEquivalence:
                 n_partitions=n_partitions,
             )
             assert result.decision_for(ids["S0"], ids["S5"]) is None
+
+
+class TestColumnarBackend:
+    """The numpy backend's columnar payload path mirrors the dict path."""
+
+    @pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+    def test_executors_match_sequential(
+        self, example, example_probabilities, example_accuracies, params, executor
+    ):
+        sequential = detect_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        parallel = detect_index_parallel(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            n_partitions=3,
+            executor=executor,
+            backend="numpy",
+        )
+        assert set(parallel.decisions) == set(sequential.decisions)
+        for pair, decision in parallel.decisions.items():
+            reference = sequential.decisions[pair]
+            assert decision.c_fwd == pytest.approx(reference.c_fwd, abs=1e-9)
+            assert decision.c_bwd == pytest.approx(reference.c_bwd, abs=1e-9)
+            assert decision.copying == reference.copying
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        world=worlds(),
+        n_partitions=st.integers(min_value=1, max_value=6),
+        strategy=st.sampled_from(["stride", "blocks"]),
+    )
+    def test_matches_python_backend_on_random_worlds(
+        self, world, n_partitions, strategy
+    ):
+        dataset, probs, accs = world
+        params = CopyParams()
+        python = detect_index_parallel(
+            dataset,
+            probs,
+            accs,
+            params,
+            n_partitions=n_partitions,
+            strategy=strategy,
+        )
+        numpy_ = detect_index_parallel(
+            dataset,
+            probs,
+            accs,
+            params,
+            n_partitions=n_partitions,
+            strategy=strategy,
+            backend="numpy",
+        )
+        assert set(numpy_.decisions) == set(python.decisions)
+        for pair, decision in numpy_.decisions.items():
+            reference = python.decisions[pair]
+            assert decision.c_fwd == pytest.approx(reference.c_fwd, abs=1e-9)
+            assert decision.copying == reference.copying
+        assert numpy_.cost.values_examined == python.cost.values_examined
+        assert numpy_.cost.pairs_considered == python.cost.pairs_considered
+
+    def test_backend_from_params(
+        self, example, example_probabilities, example_accuracies
+    ):
+        """params.backend="numpy" routes the engine without the kwarg."""
+        result = detect_index_parallel(
+            example,
+            example_probabilities,
+            example_accuracies,
+            CopyParams(backend="numpy"),
+            n_partitions=2,
+        )
+        sequential = detect_index(
+            example,
+            example_probabilities,
+            example_accuracies,
+            CopyParams(),
+        )
+        assert result.copying_pairs() == sequential.copying_pairs()
+
+    def test_unknown_backend(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        with pytest.raises(ValueError):
+            detect_index_parallel(
+                example,
+                example_probabilities,
+                example_accuracies,
+                params,
+                backend="gpu",
+            )

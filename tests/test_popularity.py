@@ -17,7 +17,7 @@ from repro.core import (
     same_value_scores_popular,
 )
 from repro.data import DatasetBuilder
-from .strategies import accuracies, probabilities
+from tests.strategies import accuracies, probabilities
 
 
 class TestReduction:

@@ -17,7 +17,7 @@ from repro.core import (
     prepare_incremental,
 )
 from repro.data import DatasetBuilder, load_claims, save_claims
-from .strategies import worlds
+from tests.strategies import worlds
 
 
 class TestBoundsUnderAnyOrdering:

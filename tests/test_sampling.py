@@ -12,7 +12,7 @@ from repro.sampling import (
     sampled_cell_fraction,
     scale_sample,
 )
-from .strategies import datasets
+from tests.strategies import datasets
 
 
 class TestByItem:

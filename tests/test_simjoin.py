@@ -9,7 +9,7 @@ from repro.simjoin import (
     count_shared_values,
     overlap_join,
 )
-from .strategies import datasets
+from tests.strategies import datasets
 
 
 def _bruteforce_shared_items(ds):
