@@ -40,7 +40,16 @@ def _add_params(parser: argparse.ArgumentParser) -> None:
         choices=list(BACKENDS),
         default="python",
         help="scoring backend: 'python' (reference loops) or 'numpy' "
-        "(vectorized kernel; same verdicts, much faster scans)",
+        "(vectorized kernel for pairwise/index, epoch-batched scan for "
+        "bound/bound+/hybrid; identical verdicts, much faster)",
+    )
+    parser.add_argument(
+        "--epoch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="entries per epoch for the numpy bound scans "
+        "(default: the library's tuned value)",
     )
 
 
@@ -100,7 +109,14 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     probabilities = vote_probabilities(dataset)
     accuracies = [0.8] * dataset.n_sources
     start = time.perf_counter()
-    result = detect(dataset, probabilities, accuracies, params, method=args.method)
+    result = detect(
+        dataset,
+        probabilities,
+        accuracies,
+        params,
+        method=args.method,
+        epoch_size=args.epoch_size,
+    )
     elapsed = time.perf_counter() - start
     copying = sorted(
         (pair for pair, d in result.decisions.items() if d.copying),
@@ -145,9 +161,11 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
     if args.method == "none":
         detector = None
     elif args.method == "incremental":
-        detector = IncrementalDetector(params)
+        detector = IncrementalDetector(params, epoch_size=args.epoch_size)
     else:
-        detector = SingleRoundDetector(params, method=args.method)
+        detector = SingleRoundDetector(
+            params, method=args.method, epoch_size=args.epoch_size
+        )
     config = FusionConfig(max_rounds=args.max_rounds)
     result = run_fusion(dataset, params, detector=detector, config=config)
 

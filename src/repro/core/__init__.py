@@ -2,7 +2,9 @@
 
 from .bound import (
     DEFAULT_HYBRID_THRESHOLD,
+    BoundEval,
     PairBookkeeping,
+    PrefixScanState,
     ScanOutcome,
     detect_bound,
     detect_bound_plus,
@@ -68,6 +70,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "BACKENDS",
+    "BoundEval",
     "ColumnarEntries",
     "CopyParams",
     "CopyPosterior",
@@ -85,6 +88,7 @@ __all__ = [
     "PairDecision",
     "PairTable",
     "PairExplanation",
+    "PrefixScanState",
     "RoundStats",
     "ScanOutcome",
     "SingleRoundDetector",

@@ -25,6 +25,25 @@ pay for itself — and BOUND+ to the rest.
 The scanner optionally records the per-pair bookkeeping INCREMENTAL needs
 (decision point, shared-value counts before/after it, exact base scores);
 see :class:`PairBookkeeping`.
+
+Backends.  The loop in this module is the bit-exactness reference
+(``CopyParams(backend="python")``, the default); with
+``backend="numpy"`` the scan is delegated to the epoch-batched
+implementation in :mod:`repro.core.bound_kernel`.  That backend processes
+the entry stream in fixed-size *epochs*: per-epoch score contributions
+are computed columnarly (with the reference's exact arithmetic — see
+:func:`repro.core.kernel.score_incidence_args`), the per-pair
+``(n0, C0_fwd, C0_bwd)`` state and BOUND+ timer milestones live in flat
+arrays keyed by ``s1 * n_sources + s2`` and are bulk-updated with
+order-preserving scatter-adds, and ``C^min`` / ``C^max`` are screened for
+all still-active pairs at epoch boundaries.  The few pairs whose timers
+fire or that approach a threshold inside an epoch are *replayed* through
+the exact per-incidence logic, so a concluding pair's recorded decision
+position is the first entry that crosses the threshold — decisions,
+decision positions, :class:`~repro.core.result.CostCounter` tallies and
+:class:`PairBookkeeping` (stored scores included) are bit-identical to
+this reference.  Worlds whose ``n_sources ** 2`` exceeds
+:data:`repro.core.bound_kernel.DENSE_STATE_LIMIT` fall back to this loop.
 """
 
 from __future__ import annotations
@@ -32,7 +51,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from math import log
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 from ..data import Dataset
 from .contribution import posterior
@@ -117,6 +136,66 @@ class ScanOutcome:
     bookkeeping: dict[tuple[int, int], PairBookkeeping] | None = None
 
 
+@dataclass
+class PrefixScanState:
+    """Raw accumulators after a *partial* (prefix-only) bound scan.
+
+    The parallel engine's strong-evidence-prefix partitioning scans the
+    first block of the processing order with bounds (where the early
+    conclusions happen) and hands everything still undecided to the
+    map/reduce INDEX kernel; this is the hand-off payload.
+
+    Attributes:
+        active: per bound-mode pair still active at the cut,
+            ``(c0_fwd, c0_bwd, n0)`` — contributions of its shared
+            entries seen so far, no penalty applied.
+        exact: same accumulators for HYBRID's low-overlap (INDEX-mode)
+            pairs.
+        done: early verdicts reached inside the prefix.
+        incidences: shared-value incidences examined so far.
+        score_updates: directional score updates performed so far.
+        bound_evals: bound evaluations performed so far.
+    """
+
+    active: dict[tuple[int, int], tuple[float, float, int]]
+    exact: dict[tuple[int, int], tuple[float, float, int]]
+    done: dict[tuple[int, int], PairDecision]
+    incidences: int
+    score_updates: int
+    bound_evals: int
+
+
+class BoundEval(NamedTuple):
+    """One bound evaluation, as recorded by ``scan_with_bounds(eval_log=...)``.
+
+    The log is a debugging/testing aid of the pure-Python reference scan
+    (requesting it forces ``backend="python"``): BOUND must show an
+    evaluation at every shared incidence, BOUND+ only at the ``T^min`` /
+    ``T^max`` timer milestones.
+
+    Attributes:
+        kind: ``"min"`` or ``"max"``.
+        pair: the source pair being evaluated.
+        position: index position of the triggering entry.
+        n0: the pair's shared-value count after this entry.
+        n1: scan count ``n(S1)`` at this entry.
+        n2: scan count ``n(S2)`` at this entry.
+        scheduled_min: ``min_check_at`` in effect when evaluating.
+        scheduled_max1: ``max_check_n1`` in effect when evaluating.
+        scheduled_max2: ``max_check_n2`` in effect when evaluating.
+    """
+
+    kind: str
+    pair: tuple[int, int]
+    position: int
+    n0: int
+    n1: int
+    n2: int
+    scheduled_min: int
+    scheduled_max1: int
+    scheduled_max2: int
+
+
 def scan_with_bounds(
     dataset: Dataset,
     probabilities: Sequence[float],
@@ -130,14 +209,20 @@ def scan_with_bounds(
     method_name: str = "bound+",
     shared_items_hint=None,
     band: tuple[float, float] | None = None,
-) -> ScanOutcome:
+    epoch_size: int | None = None,
+    stop_at: int | None = None,
+    collect_state: bool = False,
+    eval_log: list[BoundEval] | None = None,
+) -> ScanOutcome | PrefixScanState:
     """Core scan shared by BOUND (``use_timers=False``), BOUND+ and HYBRID.
 
     Args:
         dataset: the claims.
         probabilities: ``P(D.v)`` per value id.
         accuracies: ``A(S)`` per source id.
-        params: model parameters.
+        params: model parameters.  ``params.backend == "numpy"`` routes
+            the scan through the epoch-batched implementation in
+            :mod:`repro.core.bound_kernel` (bit-identical outcome).
         index: prebuilt index to reuse; built here if omitted.
         ordering: entry ordering when the index is built here (Fig. 3).
         use_timers: enable the BOUND+ lazy re-evaluation timers.
@@ -151,6 +236,16 @@ def scan_with_bounds(
             and early *no-copy* conclusions ``Pr(indep) > p_high`` (up to
             the Eq. 10 estimate); pairs in between resolve exactly at
             scan end.  ``None`` keeps the binary 0.5/0.5 thresholds.
+        epoch_size: entries per epoch for the numpy backend (``None`` =
+            :data:`repro.core.bound_kernel.DEFAULT_EPOCH_SIZE`); the
+            sequential reference ignores it.
+        stop_at: scan only positions ``< stop_at`` (the parallel engine's
+            strong-evidence prefix); ``None`` scans everything.
+        collect_state: return the raw :class:`PrefixScanState` at the cut
+            instead of resolving remaining pairs (engine hand-off).
+        eval_log: when a list is passed, every bound evaluation is
+            appended as a :class:`BoundEval` (forces the Python
+            reference path).
 
     Raises:
         ValueError: if the band is not ``0 < p_low <= p_high < 1``.
@@ -175,6 +270,29 @@ def scan_with_bounds(
             raise ValueError(f"band must satisfy 0 < p_low <= p_high < 1, got {band}")
         theta_cp = params.theta_cp_at(p_low)
         theta_ind = params.theta_ind_at(p_high)
+    if params.backend == "numpy" and eval_log is None:
+        from .bound_kernel import DENSE_STATE_LIMIT, scan_with_bounds_numpy
+
+        if dataset.n_sources * dataset.n_sources <= DENSE_STATE_LIMIT:
+            outcome = scan_with_bounds_numpy(
+                dataset,
+                accuracies,
+                params,
+                index,
+                theta_cp,
+                theta_ind,
+                use_timers,
+                hybrid_threshold,
+                track_bookkeeping,
+                method_name,
+                epoch_size=epoch_size,
+                stop_at=stop_at,
+                collect_state=collect_state,
+            )
+            if collect_state:
+                return outcome
+            result, bookkeeping = outcome
+            return ScanOutcome(result=result, index=index, bookkeeping=bookkeeping)
     clamp = params.clamp_accuracy
     acc = [clamp(a) for a in accuracies]
     s = params.s
@@ -194,8 +312,9 @@ def scan_with_bounds(
     incidences = 0
     score_updates = 0
     bound_evals = 0
+    scan_end = len(index.entries) if stop_at is None else stop_at
 
-    for position, entry in enumerate(index.entries):
+    for position, entry in enumerate(index.entries[:scan_end]):
         in_tail = position >= tail_start
         p = entry.probability
         q = 1.0 - p
@@ -262,6 +381,14 @@ def scan_with_bounds(
                 # --- C^min check (Eq. 9) --------------------------------
                 if not use_timers or state.n0 >= state.min_check_at:
                     bound_evals += 1
+                    if eval_log is not None:
+                        eval_log.append(
+                            BoundEval(
+                                "min", pair, position, state.n0,
+                                n_src[s1], n_src[s2], state.min_check_at,
+                                state.max_check_n1, state.max_check_n2,
+                            )
+                        )
                     penalty = (l - state.n0) * ln_diff
                     cmin_fwd = state.c0_fwd + penalty
                     cmin_bwd = state.c0_bwd + penalty
@@ -282,6 +409,14 @@ def scan_with_bounds(
                     or n_src[s2] >= state.max_check_n2
                 ):
                     bound_evals += 1
+                    if eval_log is not None:
+                        eval_log.append(
+                            BoundEval(
+                                "max", pair, position, state.n0,
+                                n_src[s1], n_src[s2], state.min_check_at,
+                                state.max_check_n1, state.max_check_n2,
+                            )
+                        )
                     h = max(
                         n_src[s1] * l / items_per_source[s1],
                         n_src[s2] * l / items_per_source[s2],
@@ -309,6 +444,31 @@ def scan_with_bounds(
 
     cost.values_examined = incidences
     cost.computations = score_updates + bound_evals
+
+    if collect_state:
+        return PrefixScanState(
+            active={
+                pair: (state.c0_fwd, state.c0_bwd, state.n0)
+                for pair, state in states.items()
+                if state.status == _ACTIVE
+            },
+            exact={
+                (key // n_total_sources, key % n_total_sources): (
+                    cell[0],
+                    cell[1],
+                    int(cell[2]),
+                )
+                for key, cell in exact_state.items()
+            },
+            done={
+                pair: state.decision
+                for pair, state in states.items()
+                if state.status != _ACTIVE
+            },
+            incidences=incidences,
+            score_updates=score_updates,
+            bound_evals=bound_evals,
+        )
 
     # --- Step IV: resolve remaining pairs exactly -----------------------
     end_position = len(index.entries)
@@ -424,6 +584,7 @@ def detect_bound(
     index: InvertedIndex | None = None,
     ordering: EntryOrdering = EntryOrdering.BY_CONTRIBUTION,
     band: tuple[float, float] | None = None,
+    epoch_size: int | None = None,
 ) -> DetectionResult:
     """BOUND: bounds evaluated at every shared entry (Section IV-A)."""
     return scan_with_bounds(
@@ -437,6 +598,7 @@ def detect_bound(
         hybrid_threshold=0,
         method_name="bound",
         band=band,
+        epoch_size=epoch_size,
     ).result
 
 
@@ -448,6 +610,7 @@ def detect_bound_plus(
     index: InvertedIndex | None = None,
     ordering: EntryOrdering = EntryOrdering.BY_CONTRIBUTION,
     band: tuple[float, float] | None = None,
+    epoch_size: int | None = None,
 ) -> DetectionResult:
     """BOUND+: BOUND with lazy bound re-evaluation timers (Section IV-B)."""
     return scan_with_bounds(
@@ -461,6 +624,7 @@ def detect_bound_plus(
         hybrid_threshold=0,
         method_name="bound+",
         band=band,
+        epoch_size=epoch_size,
     ).result
 
 
@@ -479,6 +643,7 @@ def detect_hybrid(
     hybrid_threshold: int = DEFAULT_HYBRID_THRESHOLD,
     track_bookkeeping: bool = False,
     shared_items_hint=None,
+    epoch_size: int | None = None,
 ) -> ScanOutcome:
     """HYBRID: INDEX for low-overlap pairs, BOUND+ for the rest.
 
@@ -497,4 +662,5 @@ def detect_hybrid(
         track_bookkeeping=track_bookkeeping,
         method_name="hybrid",
         shared_items_hint=shared_items_hint,
+        epoch_size=epoch_size,
     )

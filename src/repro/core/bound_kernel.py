@@ -1,0 +1,852 @@
+"""Epoch-batched NumPy backend for the BOUND/BOUND+/HYBRID scans.
+
+The early-terminating scans of Section IV are sequential *per pair*: each
+shared-value incidence may update a pair's running scores, fire a BOUND+
+timer, and conclude the pair on the spot.  They are, however, only weakly
+sequential *across* pairs — and between two consecutive bound evaluations
+of one pair, its state evolves by plain summation.  This module exploits
+that structure to batch the scan without changing a single observable bit:
+
+1. **Epochs.**  The ordered entry stream is processed in fixed-size
+   blocks.  Within an epoch, incidences are expanded columnarly
+   (:func:`repro.core.kernel.expand_incidences_ordered` — entry order is
+   preserved so per-pair addition order matches the reference).
+2. **Exact contributions.**  The Eq. (6) log *arguments* are computed
+   with :func:`repro.core.kernel.score_incidence_args`, which mirrors the
+   reference's scalar arithmetic expression by expression; the log itself
+   is taken with ``math.log`` per element because ``np.log``'s SIMD path
+   can differ from ``math.log`` by an ulp.  Contributions are therefore
+   bit-equal to the pure-Python scan's.
+3. **Flat per-pair state.**  ``(n0, C0_fwd, C0_bwd)``, the BOUND+ timer
+   milestones and the pair lifecycle live in dense arrays keyed by
+   ``s1 * n_sources + s2``.  Bulk accumulation uses ``np.add.at`` /
+   ``np.bincount``, whose scatter-adds apply in stream order — an exact
+   left fold, identical to the reference's ``+=`` sequence.
+4. **Epoch-boundary screening.**  At each epoch boundary the pairs that
+   could possibly have evaluated a bound inside the epoch are identified
+   vectorially:
+
+   * with timers (BOUND+/HYBRID) the triggers are integer comparisons on
+     ``n0`` and the per-source scan counts, evaluated conservatively at
+     their epoch-end values — exact, no tolerance needed;
+   * without timers (BOUND) a pair may conclude *copying* iff its
+     epoch-end ``C^min`` reaches ``theta_cp`` (``C^min`` is monotone
+     nondecreasing along the scan, so the epoch-end value is the epoch
+     maximum), and may conclude *no-copying* only if a conservative lower
+     bound on its in-epoch ``C^max`` drops below ``theta_ind``; both
+     screens carry a small absolute slack so float re-association in the
+     screen itself can never hide a conclusion.
+
+5. **Exact replay.**  Screened-in pairs (the few whose timers fire or
+   that approach a threshold) are *replayed* through the reference's
+   per-incidence logic in scalar Python, using the precomputed exact
+   contributions — so their recorded decision position is the first entry
+   that crosses the threshold, their concluding bound values, timers,
+   cost counters and INCREMENTAL bookkeeping are bit-identical to the
+   pure-Python scan.  Screened-out pairs take the bulk path: their state
+   after the epoch is the same left-fold sum the reference would have
+   produced, and (for BOUND) their evaluation count is added in closed
+   form.
+
+HYBRID's low-overlap pairs (``l <= hybrid_threshold``) skip bound upkeep
+entirely: they are accumulated with the same exact contributions in
+*exact mode*, mirroring the ``detect_index``-style flat cells of the
+reference, and resolve at scan end.
+
+The net effect: decisions, decision positions, ``CostCounter`` fields and
+:class:`~repro.core.bound.PairBookkeeping` — including the stored float
+scores — are bit-identical to ``backend="python"``, while the per-entry
+Python interpreter work collapses to two ``math.log`` calls per *live*
+incidence plus a handful of vector operations per epoch.
+
+Dense state sizing: the flat key space is ``n_sources ** 2``; beyond
+:data:`DENSE_STATE_LIMIT` keys the caller falls back to the pure-Python
+scan (the reference is always available and always correct).
+"""
+
+from __future__ import annotations
+
+from math import log
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .contribution import posterior
+from .kernel import (
+    clamp_accuracies,
+    expand_incidences_ordered,
+    score_incidence_args,
+)
+from .params import CopyParams
+from .result import CostCounter, DetectionResult, PairDecision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..data import Dataset
+    from .index import InvertedIndex
+
+# Pair lifecycle in the dense status array.
+_UNSEEN = 0
+_ACTIVE = 1
+_EXACT = 2
+_DONE_COPY = 3
+_DONE_NOCOPY = 4
+
+#: Entries per epoch when the caller does not choose.  Small enough that
+#: replay windows stay short (a concluding pair is replayed only within
+#: the epoch it concludes in), large enough that the per-epoch vector
+#: overhead amortises; ``benchmarks/bench_bound_backend.py`` sweeps the
+#: knob and 128 sits at the sweet spot on the dense reference world.
+DEFAULT_EPOCH_SIZE = 128
+
+#: Largest flat key space (``n_sources ** 2``) the dense per-pair state
+#: arrays are allocated for; larger worlds fall back to the pure-Python
+#: reference scan (eight dense arrays at this limit cost ~64 MB).
+DENSE_STATE_LIMIT = 1 << 20
+
+#: Absolute slack on the BOUND conclusion screens.  The screens evaluate
+#: mathematically-conservative bounds, but with float re-association; the
+#: slack (orders of magnitude above the achievable rounding error, orders
+#: of magnitude below any meaningful score gap) guarantees a pair within
+#: reach of a threshold is always replayed — and replay decides exactly.
+SCREEN_MARGIN = 1e-6
+
+
+def _cumcount(values: np.ndarray) -> np.ndarray:
+    """0-based rank of each element among its equals, in stream order."""
+    n = len(values)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.argsort(values, kind="stable")
+    sorted_v = values[order]
+    starts = np.r_[0, np.nonzero(np.diff(sorted_v))[0] + 1]
+    sizes = np.diff(np.r_[starts, n])
+    rank_sorted = np.arange(n, dtype=np.int64) - np.repeat(starts, sizes)
+    out = np.empty(n, dtype=np.int64)
+    out[order] = rank_sorted
+    return out
+
+
+class EpochScan:
+    """Mutable scan state for one epoch-batched pass over an index.
+
+    Drive it with :meth:`run`, then read the outcome with
+    :meth:`finalize` (full-scan results) or :meth:`raw_state` (the
+    mid-scan per-pair accumulators the parallel engine's prefix
+    partitioning consumes).
+    """
+
+    def __init__(
+        self,
+        dataset: "Dataset",
+        accuracies: Sequence[float],
+        params: CopyParams,
+        index: "InvertedIndex",
+        theta_cp: float,
+        theta_ind: float,
+        use_timers: bool,
+        hybrid_threshold: int,
+        track_bookkeeping: bool,
+        epoch_size: int | None = None,
+    ) -> None:
+        self.n_sources = dataset.n_sources
+        self.key_space = self.n_sources * self.n_sources
+        if self.key_space > DENSE_STATE_LIMIT:
+            raise ValueError(
+                f"dense bound state needs n_sources**2 <= {DENSE_STATE_LIMIT}; "
+                f"got {self.key_space} (callers fall back to backend='python')"
+            )
+        self.index = index
+        self.entries = index.entries
+        self.tail_start = index.tail_start
+        self.suffix_list = index.suffix_max
+        self.suffix_arr = np.asarray(index.suffix_max, dtype=np.float64)
+        self.shared_items = index.shared_items
+        self.ips = np.asarray(index.items_per_source, dtype=np.int64)
+        self.params = params
+        self.theta_cp = theta_cp
+        self.theta_ind = theta_ind
+        self.use_timers = use_timers
+        self.hybrid_threshold = hybrid_threshold
+        self.track = track_bookkeeping
+        self.ln_diff = params.ln_one_minus_s
+        self.acc = clamp_accuracies(accuracies, params)
+        # Factorized accuracies for the grid-deduplicated log path: when
+        # few distinct accuracy values exist (synthetic worlds often use
+        # one), every incidence's log argument is one of
+        # (entry, acc, acc) grid cells — math.log per cell, gather per
+        # incidence, bit-identical to the direct computation.
+        self.acc_unique, self.acc_ids = np.unique(self.acc, return_inverse=True)
+        self.epoch_size = (
+            DEFAULT_EPOCH_SIZE
+            if epoch_size is None
+            else max(int(epoch_size), 1)
+        )
+        ks = self.key_space
+        self.status = np.zeros(ks, dtype=np.int8)
+        self.n0 = np.zeros(ks, dtype=np.int64)
+        self.c0_fwd = np.zeros(ks)
+        self.c0_bwd = np.zeros(ks)
+        # BOUND+ timer milestones; integer-valued but stored as float64
+        # (math.ceil products stay well under 2**53, so comparisons
+        # against integer counts are exact).
+        self.min_check_at = np.zeros(ks)
+        self.max_check_n1 = np.zeros(ks)
+        self.max_check_n2 = np.zeros(ks)
+        self.l_arr = np.zeros(ks, dtype=np.int64)
+        self.n_after = np.zeros(ks, dtype=np.int64)
+        #: concluded pairs: key -> (decision, decision_pos, n_before)
+        self.done: dict[int, tuple[PairDecision, int, int]] = {}
+        self.n_src = np.zeros(self.n_sources, dtype=np.int64)
+        self.incidences = 0
+        self.score_updates = 0
+        self.bound_evals = 0
+
+    # ------------------------------------------------------------------
+    # Scan driver
+    # ------------------------------------------------------------------
+    def run(self, stop_at: int | None = None) -> None:
+        """Scan entries ``[0, stop_at)`` (the whole index by default)."""
+        end = len(self.entries) if stop_at is None else stop_at
+        for e0 in range(0, end, self.epoch_size):
+            self._run_epoch(e0, min(e0 + self.epoch_size, end))
+
+    def _run_epoch(self, e0: int, e1: int) -> None:
+        rows = self.entries[e0:e1]
+        n_rows = e1 - e0
+        counts = np.fromiter(
+            (len(entry.providers) for entry in rows), np.int64, count=n_rows
+        )
+        offsets = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        prov = np.fromiter(
+            (src for entry in rows for src in entry.providers),
+            np.int64,
+            count=int(offsets[-1]),
+        )
+        probs_e = np.fromiter(
+            (entry.probability for entry in rows), np.float64, count=n_rows
+        )
+        # Per-slot scan counts n(S) *after* the owning entry's bump —
+        # the value the reference reads at that entry's pair loop.
+        nsrc_slot = self.n_src[prov] + _cumcount(prov) + 1
+        self.n_src += np.bincount(prov, minlength=self.n_sources)
+
+        row, islot, jslot = expand_incidences_ordered(offsets, prov)
+        if len(row) == 0:
+            return
+        src1 = prov[islot]
+        src2 = prov[jslot]
+        keys = src1 * np.int64(self.n_sources) + src2
+        st = self.status[keys]
+
+        # --- open pairs first seen in a non-tail entry ----------------
+        unseen = st == _UNSEEN
+        if unseen.any():
+            new_keys, first_idx = np.unique(keys[unseen], return_index=True)
+            opened = (row[unseen][first_idx] + e0) < self.tail_start
+            open_keys = new_keys[opened]
+            if len(open_keys):
+                n = self.n_sources
+                shared = self.shared_items
+                l_new = np.fromiter(
+                    (shared[(k // n, k % n)] for k in open_keys.tolist()),
+                    np.int64,
+                    count=len(open_keys),
+                )
+                self.l_arr[open_keys] = l_new
+                self.status[open_keys] = np.where(
+                    l_new <= self.hybrid_threshold, _EXACT, _ACTIVE
+                ).astype(np.int8)
+                st = self.status[keys]
+
+        # --- count post-decision incidences (INCREMENTAL bookkeeping) -
+        done_mask = st >= _DONE_COPY
+        if done_mask.any():
+            np.add.at(self.n_after, keys[done_mask], 1)
+
+        # --- exact contributions for live incidences ------------------
+        live = (st == _ACTIVE) | (st == _EXACT)
+        if not live.any():
+            return
+        lrow = row[live]
+        li = islot[live]
+        lj = jslot[live]
+        lk = keys[live]
+        ls = st[live]
+        fwd, bwd = self._exact_contributions(
+            probs_e, lrow, src1[live], src2[live]
+        )
+
+        exact_mask = ls == _EXACT
+        if exact_mask.any():
+            ek = lk[exact_mask]
+            np.add.at(self.c0_fwd, ek, fwd[exact_mask])
+            np.add.at(self.c0_bwd, ek, bwd[exact_mask])
+            np.add.at(self.n0, ek, 1)
+            n_exact = int(exact_mask.sum())
+            self.incidences += n_exact
+            self.score_updates += 2 * n_exact
+
+        act_mask = ls == _ACTIVE
+        if not act_mask.any():
+            return
+        ak = lk[act_mask]
+        act_fwd = fwd[act_mask]
+        act_bwd = bwd[act_mask]
+        # Dense per-key aggregation: the key space is capped by
+        # DENSE_STATE_LIMIT, so bincount scatter beats a sort-based
+        # np.unique.
+        ks = self.key_space
+        cnt_dense = np.bincount(ak, minlength=ks)
+        uk = np.nonzero(cnt_dense)[0]
+        cnt = cnt_dense[uk]
+        n0_u = self.n0[uk]
+        n0_end = n0_u + cnt
+        s1_u = uk // self.n_sources
+        s2_u = uk % self.n_sources
+
+        if self.use_timers:
+            # Integer trigger screen at conservative (epoch-end) counts:
+            # a timer can only have fired if it fires against the largest
+            # counts the epoch reaches.  Replay re-checks each incidence
+            # against the counts of *its* position, exactly.
+            replay_u = (
+                (n0_end >= self.min_check_at[uk])
+                | (self.n_src[s1_u] >= self.max_check_n1[uk])
+                | (self.n_src[s2_u] >= self.max_check_n2[uk])
+            )
+        else:
+            l_u = self.l_arr[uk].astype(np.float64)
+            c0f_u = self.c0_fwd[uk]
+            c0b_u = self.c0_bwd[uk]
+            sum_f = np.bincount(ak, weights=act_fwd, minlength=ks)[uk]
+            sum_b = np.bincount(ak, weights=act_bwd, minlength=ks)[uk]
+            # C^min is monotone nondecreasing, so the epoch-end value is
+            # the epoch maximum: no copy conclusion below theta_cp.
+            end_min = (
+                np.maximum(c0f_u + sum_f, c0b_u + sum_b)
+                + (l_u - n0_end) * self.ln_diff
+            )
+            min_cand = end_min >= self.theta_cp - SCREEN_MARGIN
+            # Conservative lower bound on any in-epoch C^max: h at its
+            # epoch ceiling, the unseen-entry bound M at its epoch
+            # extremes (suffix_max is nonincreasing).
+            h_raw = np.maximum(
+                self.n_src[s1_u] * l_u / self.ips[s1_u],
+                self.n_src[s2_u] * l_u / self.ips[s2_u],
+            )
+            h_ub = np.minimum(np.maximum(h_raw, n0_end), l_u)
+            m_big = self.suffix_list[e0 + 1]
+            m_small = self.suffix_list[e1]
+            lower_max = (
+                np.maximum(c0f_u, c0b_u)
+                + (h_ub - n0_u) * self.ln_diff
+                - h_ub * m_big
+                + l_u * m_small
+            )
+            max_cand = lower_max < self.theta_ind + SCREEN_MARGIN
+            replay_u = min_cand | max_cand
+
+        replay_dense = np.zeros(ks, dtype=bool)
+        replay_dense[uk[replay_u]] = True
+        inc_replay = replay_dense[ak]
+        bulk = ~inc_replay
+        n_bulk = int(bulk.sum())
+        if n_bulk:
+            bk = ak[bulk]
+            np.add.at(self.c0_fwd, bk, act_fwd[bulk])
+            np.add.at(self.c0_bwd, bk, act_bwd[bulk])
+            bulk_u = ~replay_u
+            self.n0[uk[bulk_u]] += cnt[bulk_u]
+            self.incidences += n_bulk
+            self.score_updates += 2 * n_bulk
+            if not self.use_timers:
+                # BOUND evaluates both bounds at every incidence; a bulk
+                # pair concludes at none of them, so the count is closed
+                # form.
+                self.bound_evals += 2 * n_bulk
+        if n_bulk < len(ak):
+            arow = lrow[act_mask]
+            ai = li[act_mask]
+            aj = lj[act_mask]
+            ridx = np.nonzero(inc_replay)[0]
+            rk = ak[ridx]
+            order = np.argsort(rk, kind="stable")
+            ridx = ridx[order]
+            rk = rk[order]
+            # Group boundaries of the key-sorted replay stream.
+            cuts = np.nonzero(np.diff(rk))[0] + 1
+            starts = np.r_[0, cuts]
+            ends = np.r_[cuts, np.int64(len(rk))]
+            self._replay(
+                rk[starts],
+                starts,
+                ends,
+                arow[ridx] + e0,
+                act_fwd[ridx],
+                act_bwd[ridx],
+                nsrc_slot[ai[ridx]],
+                nsrc_slot[aj[ridx]],
+            )
+
+    def _exact_contributions(
+        self,
+        probs_e: np.ndarray,
+        lrow: np.ndarray,
+        s1: np.ndarray,
+        s2: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Eq. (6) per live incidence, bit-equal to the scalar reference.
+
+        The log arguments come out of
+        :func:`~repro.core.kernel.score_incidence_args` (exact
+        arithmetic); the logs themselves must be ``math.log`` (NumPy's
+        SIMD log can stray by an ulp).  When the distinct accuracy count
+        is small, arguments are computed once per
+        ``(entry, accuracy, accuracy)`` grid cell and gathered per
+        incidence — identical floats in, identical floats out, at a
+        fraction of the per-incidence log cost.
+        """
+        n_acc = len(self.acc_unique)
+        n_rows = len(probs_e)
+        n_inc = len(lrow)
+        if n_acc * n_acc * n_rows < n_inc:
+            grid_f, grid_b = score_incidence_args(
+                probs_e[:, None, None],
+                self.acc_unique[None, :, None],
+                self.acc_unique[None, None, :],
+                self.params,
+            )
+            flat_f = grid_f.ravel()
+            flat_b = grid_b.ravel()
+            logs_f = np.fromiter(
+                map(log, flat_f.tolist()), np.float64, count=len(flat_f)
+            )
+            logs_b = np.fromiter(
+                map(log, flat_b.tolist()), np.float64, count=len(flat_b)
+            )
+            cell = (
+                lrow * (n_acc * n_acc)
+                + self.acc_ids[s1] * n_acc
+                + self.acc_ids[s2]
+            )
+            return logs_f[cell], logs_b[cell]
+        arg_f, arg_b = score_incidence_args(
+            probs_e[lrow], self.acc[s1], self.acc[s2], self.params
+        )
+        fwd = np.fromiter(map(log, arg_f.tolist()), np.float64, count=n_inc)
+        bwd = np.fromiter(map(log, arg_b.tolist()), np.float64, count=n_inc)
+        return fwd, bwd
+
+    # ------------------------------------------------------------------
+    # Exact replay (trajectory-vectorized reference inner loop)
+    # ------------------------------------------------------------------
+    def _replay(
+        self,
+        gkeys: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        pos: np.ndarray,
+        fwd: np.ndarray,
+        bwd: np.ndarray,
+        n1: np.ndarray,
+        n2: np.ndarray,
+    ) -> None:
+        """Exact replay of the screened-in pairs, trajectory-first.
+
+        A pair's ``(n0, C0)`` trajectory over its epoch incidences does
+        not depend on which bounds get evaluated along the way — so every
+        per-incidence quantity the reference's inner loop derives
+        (``C^min``/``C^max`` in both directions, the conclusion flags,
+        and the *would-be* post-evaluation timer milestones) is computed
+        columnarly first, with arithmetic mirroring the scalar reference
+        (the seeded row-cumsum is an exact left fold, like ``np.add.at``).
+        What remains sequential is only the decision of *which* cells
+        evaluate: trivial for BOUND (every cell — the first concluding
+        cell comes straight out of ``argmax``), a cheap precomputed-value
+        walk per pair for the BOUND+ timer chain.
+
+        Groups (``[starts, ends)`` slices of the key-sorted incidence
+        streams) are bucketed by power-of-two length so the padded
+        per-bucket matrices waste at most half their cells.
+        """
+        glen = ends - starts
+        max_len = int(glen.max())
+        size = 1
+        while True:
+            sel = np.nonzero((glen > size // 2) & (glen <= size))[0]
+            if len(sel):
+                self._replay_bucket(
+                    gkeys[sel], starts[sel], glen[sel], size,
+                    pos, fwd, bwd, n1, n2,
+                )
+            if size >= max_len:
+                break
+            size *= 2
+
+    def _replay_bucket(
+        self,
+        keys_b: np.ndarray,
+        starts_b: np.ndarray,
+        len_b: np.ndarray,
+        width: int,
+        pos: np.ndarray,
+        fwd: np.ndarray,
+        bwd: np.ndarray,
+        n1: np.ndarray,
+        n2: np.ndarray,
+    ) -> None:
+        n_groups = len(keys_b)
+        col = np.arange(width, dtype=np.int64)
+        idx = np.minimum(starts_b[:, None] + col, (starts_b + len_b - 1)[:, None])
+        valid = col < len_b[:, None]
+        fwd_m = np.where(valid, fwd[idx], 0.0)
+        bwd_m = np.where(valid, bwd[idx], 0.0)
+        pos_m = pos[idx]  # padded cells repeat the last position: harmless
+        n1_m = n1[idx]
+        n2_m = n2[idx]
+        next_max = self.suffix_arr[pos_m + 1]
+        ln_diff = self.ln_diff
+        n00 = self.n0[keys_b]
+        # Seeded cumulative sums: np.cumsum is a left fold, so row k holds
+        # exactly ((c0 + x_1) + x_2) + ... — the reference's += order
+        # (padding zeros are exact no-ops).
+        c0f_m = np.cumsum(
+            np.concatenate([self.c0_fwd[keys_b][:, None], fwd_m], axis=1), axis=1
+        )[:, 1:]
+        c0b_m = np.cumsum(
+            np.concatenate([self.c0_bwd[keys_b][:, None], bwd_m], axis=1), axis=1
+        )[:, 1:]
+        n0_m = n00[:, None] + col + 1
+        l_m = self.l_arr[keys_b][:, None]
+        # --- C^min trajectory (Eq. 9) ---------------------------------
+        penalty = (l_m - n0_m) * ln_diff
+        cmin_f = c0f_m + penalty
+        cmin_b = c0b_m + penalty
+        best_min = np.maximum(cmin_f, cmin_b)
+        concl_min = best_min >= self.theta_cp
+        # --- C^max trajectory (Eq. 10) --------------------------------
+        s1_b = keys_b // self.n_sources
+        s2_b = keys_b % self.n_sources
+        ips1 = self.ips[s1_b][:, None]
+        ips2 = self.ips[s2_b][:, None]
+        h = np.maximum(n1_m * l_m / ips1, n2_m * l_m / ips2)
+        h = np.minimum(np.maximum(h, n0_m), l_m)
+        spread = (h - n0_m) * ln_diff + (l_m - h) * next_max
+        cmax_f = c0f_m + spread
+        cmax_b = c0b_m + spread
+        worst_max = np.maximum(cmax_f, cmax_b)
+        concl_max = worst_max < self.theta_ind
+
+        if not self.use_timers:
+            # BOUND: both bounds evaluate at every incidence, so the
+            # concluding cell is simply the first flagged one.
+            concl_any = (concl_min | concl_max) & valid
+            has = concl_any.any(axis=1)
+            kc = np.argmax(concl_any, axis=1)
+            rows = np.arange(n_groups)
+            stop = np.where(has, kc, len_b - 1)
+            active = np.where(has, kc + 1, len_b)
+            min_concluded = concl_min[rows, kc] & has
+            n_active = int(active.sum())
+            self.incidences += n_active
+            self.score_updates += 2 * n_active
+            # 2 evaluations per non-concluding incidence; the concluding
+            # one stops after 1 when C^min decides.
+            self.bound_evals += int(
+                (2 * active - np.where(has, np.where(min_concluded, 1, 0), 0)).sum()
+            )
+            self.n0[keys_b] = n0_m[rows, stop]
+            self.c0_fwd[keys_b] = c0f_m[rows, stop]
+            self.c0_bwd[keys_b] = c0b_m[rows, stop]
+            if has.any():
+                hrows = np.nonzero(has)[0]
+                hkeys = keys_b[hrows]
+                hkc = kc[hrows]
+                is_min = min_concluded[hrows]
+                self.status[hkeys] = np.where(
+                    is_min, _DONE_COPY, _DONE_NOCOPY
+                ).astype(np.int8)
+                self.n_after[hkeys] += len_b[hrows] - hkc - 1
+                self._record_conclusions(
+                    hrows, hkc, is_min, keys_b, cmin_f, cmin_b,
+                    cmax_f, cmax_b, pos_m, n0_m,
+                )
+            return
+
+        # BOUND+: walk the timer chain over precomputed cell values.  The
+        # conclusion flags ride along *inside* the milestone arrays as -1
+        # markers (real milestones are always >= 0), so the chain reads
+        # five matrices, not seven.
+        step = next_max - ln_diff
+        min_next = n0_m + np.maximum(np.ceil((self.theta_cp - best_min) / step), 1.0)
+        min_next = np.where(concl_min, -1.0, min_next)
+        needed = np.ceil((worst_max - self.theta_ind) / step) + (h - n0_m)
+        mx1_new = np.where(concl_max, -1.0, np.ceil(needed * ips1 / l_m))
+        mx2_new = np.ceil(needed * ips2 / l_m)
+        min_next_l = min_next.tolist()
+        mx1_l = mx1_new.tolist()
+        mx2_l = mx2_new.tolist()
+        n1_l = n1_m.tolist()
+        n2_l = n2_m.tolist()
+        n00_l = n00.tolist()
+        len_l = len_b.tolist()
+        m_out = self.min_check_at[keys_b].tolist()
+        x1_out = self.max_check_n1[keys_b].tolist()
+        x2_out = self.max_check_n2[keys_b].tolist()
+        stops = [0] * n_groups
+        kinds = [0] * n_groups  # 0 active, 1 copy, 2 no-copy
+        active_total = 0
+        evals = 0
+        for g in range(n_groups):
+            m = m_out[g]
+            x1 = x1_out[g]
+            x2 = x2_out[g]
+            n0k = n00_l[g]
+            length = len_l[g]
+            mn_g = min_next_l[g]
+            mx1_g = mx1_l[g]
+            mx2_g = mx2_l[g]
+            r1 = n1_l[g]
+            r2 = n2_l[g]
+            kind = 0
+            k = 0
+            while k < length:
+                n0k += 1
+                if n0k >= m:
+                    evals += 1
+                    m = mn_g[k]
+                    if m < 0.0:
+                        kind = 1
+                        break
+                if r1[k] >= x1 or r2[k] >= x2:
+                    evals += 1
+                    x1 = mx1_g[k]
+                    if x1 < 0.0:
+                        kind = 2
+                        break
+                    x2 = mx2_g[k]
+                k += 1
+            if kind:
+                stops[g] = k
+                kinds[g] = kind
+                active_total += k + 1
+            else:
+                stops[g] = length - 1
+                active_total += length
+            m_out[g] = m
+            x1_out[g] = x1
+            x2_out[g] = x2
+        self.incidences += active_total
+        self.score_updates += 2 * active_total
+        self.bound_evals += evals
+        rows = np.arange(n_groups)
+        stop = np.asarray(stops, dtype=np.int64)
+        self.n0[keys_b] = n0_m[rows, stop]
+        self.c0_fwd[keys_b] = c0f_m[rows, stop]
+        self.c0_bwd[keys_b] = c0b_m[rows, stop]
+        self.min_check_at[keys_b] = np.asarray(m_out)
+        self.max_check_n1[keys_b] = np.asarray(x1_out)
+        self.max_check_n2[keys_b] = np.asarray(x2_out)
+        kind_arr = np.asarray(kinds)
+        concluded = kind_arr > 0
+        if concluded.any():
+            hrows = np.nonzero(concluded)[0]
+            hkeys = keys_b[hrows]
+            is_min = kind_arr[hrows] == 1
+            self.status[hkeys] = np.where(
+                is_min, _DONE_COPY, _DONE_NOCOPY
+            ).astype(np.int8)
+            self.n_after[hkeys] += len_b[hrows] - stop[hrows] - 1
+            self._record_conclusions(
+                hrows, stop[hrows], is_min, keys_b, cmin_f, cmin_b,
+                cmax_f, cmax_b, pos_m, n0_m,
+            )
+
+    def _record_conclusions(
+        self,
+        rows: np.ndarray,
+        cells: np.ndarray,
+        is_min: np.ndarray,
+        keys_b: np.ndarray,
+        cmin_f: np.ndarray,
+        cmin_b: np.ndarray,
+        cmax_f: np.ndarray,
+        cmax_b: np.ndarray,
+        pos_m: np.ndarray,
+        n0_m: np.ndarray,
+    ) -> None:
+        """Materialize early verdicts for concluded (row, cell) pairs."""
+        params = self.params
+        done = self.done
+        cf_min = cmin_f[rows, cells].tolist()
+        cb_min = cmin_b[rows, cells].tolist()
+        cf_max = cmax_f[rows, cells].tolist()
+        cb_max = cmax_b[rows, cells].tolist()
+        positions = pos_m[rows, cells].tolist()
+        n_before = n0_m[rows, cells].tolist()
+        keys_l = keys_b[rows].tolist()
+        for i, copying in enumerate(is_min.tolist()):
+            if copying:
+                c_fwd = cf_min[i]
+                c_bwd = cb_min[i]
+            else:
+                c_fwd = cf_max[i]
+                c_bwd = cb_max[i]
+            done[keys_l[i]] = (
+                PairDecision(
+                    c_fwd=c_fwd,
+                    c_bwd=c_bwd,
+                    posterior=posterior(c_fwd, c_bwd, params),
+                    copying=copying,
+                    early=True,
+                ),
+                positions[i],
+                n_before[i],
+            )
+
+    # ------------------------------------------------------------------
+    # Outcomes
+    # ------------------------------------------------------------------
+    def finalize(self, method_name: str):
+        """Step IV: resolve surviving pairs exactly; assemble the result.
+
+        Returns:
+            ``(result, bookkeeping)`` matching the reference scan's
+            values bit for bit (bookkeeping ``None`` unless tracked).
+        """
+        end_position = len(self.entries)
+        cost = CostCounter()
+        cost.values_examined = self.incidences
+        cost.computations = self.score_updates + self.bound_evals
+        decisions: dict[tuple[int, int], PairDecision] = {}
+        bookkeeping = {} if self.track else None
+        n = self.n_sources
+        ln_diff = self.ln_diff
+        params = self.params
+        if bookkeeping is not None:
+            from .bound import PairBookkeeping
+        for key in np.nonzero(self.status)[0].tolist():
+            state = int(self.status[key])
+            pair = divmod(key, n)
+            cost.pairs_considered += 1
+            l = int(self.l_arr[key])
+            c0f = float(self.c0_fwd[key])
+            c0b = float(self.c0_bwd[key])
+            if state in (_ACTIVE, _EXACT):
+                cost.score_update(2)
+                n0 = int(self.n0[key])
+                penalty = (l - n0) * ln_diff
+                c_fwd = c0f + penalty
+                c_bwd = c0b + penalty
+                post = posterior(c_fwd, c_bwd, params)
+                decision = PairDecision(
+                    c_fwd=c_fwd,
+                    c_bwd=c_bwd,
+                    posterior=post,
+                    copying=post.copying,
+                    early=False,
+                )
+                decision_pos = end_position
+                n_before = n0
+                n_aft = 0
+            else:
+                decision, decision_pos, n_before = self.done[key]
+                n_aft = int(self.n_after[key])
+            decisions[pair] = decision
+            if bookkeeping is not None:
+                n_total = n_before + n_aft
+                base_penalty = (l - n_total) * ln_diff
+                bookkeeping[pair] = PairBookkeeping(
+                    copying=decision.copying,
+                    early=decision.early,
+                    c_base_fwd=c0f + base_penalty,
+                    c_base_bwd=c0b + base_penalty,
+                    decision_pos=decision_pos,
+                    n_before=n_before,
+                    n_after=n_aft,
+                    l=l,
+                )
+        result = DetectionResult(
+            method=method_name,
+            n_sources=n,
+            decisions=decisions,
+            cost=cost,
+        )
+        return result, bookkeeping
+
+    def raw_state(self):
+        """Mid-scan accumulators for the prefix-partitioned engine.
+
+        Returns:
+            An ``repro.core.bound.PrefixScanState`` snapshot: live pair
+            accumulators (bound-mode and exact-mode separately), early
+            decisions, and the cost tallies so far.
+        """
+        from .bound import PrefixScanState
+
+        n = self.n_sources
+        active: dict[tuple[int, int], tuple[float, float, int]] = {}
+        exact: dict[tuple[int, int], tuple[float, float, int]] = {}
+        for key in np.nonzero(self.status)[0].tolist():
+            state = int(self.status[key])
+            pair = divmod(key, n)
+            if state == _ACTIVE:
+                active[pair] = (
+                    float(self.c0_fwd[key]),
+                    float(self.c0_bwd[key]),
+                    int(self.n0[key]),
+                )
+            elif state == _EXACT:
+                exact[pair] = (
+                    float(self.c0_fwd[key]),
+                    float(self.c0_bwd[key]),
+                    int(self.n0[key]),
+                )
+        done = {divmod(key, n): rec[0] for key, rec in self.done.items()}
+        return PrefixScanState(
+            active=active,
+            exact=exact,
+            done=done,
+            incidences=self.incidences,
+            score_updates=self.score_updates,
+            bound_evals=self.bound_evals,
+        )
+
+
+def scan_with_bounds_numpy(
+    dataset: "Dataset",
+    accuracies: Sequence[float],
+    params: CopyParams,
+    index: "InvertedIndex",
+    theta_cp: float,
+    theta_ind: float,
+    use_timers: bool,
+    hybrid_threshold: int,
+    track_bookkeeping: bool,
+    method_name: str,
+    epoch_size: int | None = None,
+    stop_at: int | None = None,
+    collect_state: bool = False,
+):
+    """Run the epoch-batched scan; the numpy half of ``scan_with_bounds``.
+
+    Returns ``(result, bookkeeping)``, or a
+    :class:`~repro.core.bound.PrefixScanState` when ``collect_state``.
+    """
+    scan = EpochScan(
+        dataset,
+        accuracies,
+        params,
+        index,
+        theta_cp,
+        theta_ind,
+        use_timers,
+        hybrid_threshold,
+        track_bookkeeping,
+        epoch_size=epoch_size,
+    )
+    scan.run(stop_at=stop_at)
+    if collect_state:
+        return scan.raw_state()
+    return scan.finalize(method_name)

@@ -74,6 +74,7 @@ def detect(
     hybrid_threshold: int = DEFAULT_HYBRID_THRESHOLD,
     shared_items=None,
     backend: str | None = None,
+    epoch_size: int | None = None,
 ) -> DetectionResult:
     """Run one copy-detection round with the named algorithm.
 
@@ -90,8 +91,12 @@ def detect(
             rounds (the claims are static; see
             :meth:`InvertedIndex.build`).
         backend: overrides ``params.backend`` (``"python"``/``"numpy"``)
-            for this call; affects ``pairwise`` and ``index`` (the BOUND
-            family is sequential by nature).
+            for this call.  ``"numpy"`` routes ``pairwise``/``index``
+            through the vectorized kernel and the BOUND family through
+            the epoch-batched scan (:mod:`repro.core.bound_kernel`,
+            bit-identical decisions).
+        epoch_size: entries per epoch for the numpy BOUND scans (``None``
+            picks the default; exhaustive methods ignore it).
 
     Returns:
         The round's :class:`DetectionResult`, with ``elapsed_seconds``
@@ -127,11 +132,21 @@ def detect(
             )
         elif method == "bound":
             result = detect_bound(
-                dataset, probabilities, accuracies, params, index=index
+                dataset,
+                probabilities,
+                accuracies,
+                params,
+                index=index,
+                epoch_size=epoch_size,
             )
         elif method == "bound+":
             result = detect_bound_plus(
-                dataset, probabilities, accuracies, params, index=index
+                dataset,
+                probabilities,
+                accuracies,
+                params,
+                index=index,
+                epoch_size=epoch_size,
             )
         else:  # hybrid
             result = detect_hybrid(
@@ -141,6 +156,7 @@ def detect(
                 params,
                 index=index,
                 hybrid_threshold=hybrid_threshold,
+                epoch_size=epoch_size,
             ).result
     result.elapsed_seconds = time.perf_counter() - start
     return result
@@ -157,6 +173,7 @@ class SingleRoundDetector:
         rng: random.Random | None = None,
         hybrid_threshold: int = DEFAULT_HYBRID_THRESHOLD,
         backend: str | None = None,
+        epoch_size: int | None = None,
     ):
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
@@ -167,6 +184,7 @@ class SingleRoundDetector:
         self.ordering = ordering
         self.rng = rng
         self.hybrid_threshold = hybrid_threshold
+        self.epoch_size = epoch_size
         self._shared_items_cache: tuple[Dataset, dict] | None = None
 
     def _shared_items(self, dataset: Dataset):
@@ -201,6 +219,7 @@ class SingleRoundDetector:
             rng=self.rng,
             hybrid_threshold=self.hybrid_threshold,
             shared_items=shared,
+            epoch_size=self.epoch_size,
         )
 
 
@@ -225,15 +244,18 @@ class IncrementalDetector:
         rho_accuracy: float = 0.2,
         prepare_round: int = 2,
         backend: str | None = None,
+        epoch_size: int | None = None,
     ):
         if backend is not None and backend != params.backend:
-            # HYBRID/INCREMENTAL scans are sequential (early termination),
-            # so the switch is inert today; it is accepted and stored on
-            # the params so future vectorized rounds inherit it.
+            # Routes the from-scratch HYBRID rounds (1, 2 and the
+            # preparation round's bookkeeping) through the epoch-batched
+            # numpy scan; the bookkeeping it hands to incremental_round
+            # is bit-identical to the Python reference's.
             params = replace(params, backend=backend)
         self.params = params
         self.ordering = ordering
         self.hybrid_threshold = hybrid_threshold
+        self.epoch_size = epoch_size
         self.rho_value = rho_value
         self.rho_accuracy = rho_accuracy
         self.prepare_round = prepare_round
@@ -265,6 +287,7 @@ class IncrementalDetector:
                 ordering=self.ordering,
                 hybrid_threshold=self.hybrid_threshold,
                 shared_items_hint=self._shared_items(dataset),
+                epoch_size=self.epoch_size,
             ).result
         elif round_no == self.prepare_round or self.state is None:
             result, self.state = prepare_incremental(
@@ -275,6 +298,7 @@ class IncrementalDetector:
                 ordering=self.ordering,
                 hybrid_threshold=self.hybrid_threshold,
                 shared_items_hint=self._shared_items(dataset),
+                epoch_size=self.epoch_size,
             )
         else:
             result = incremental_round(

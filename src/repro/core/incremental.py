@@ -142,11 +142,16 @@ def prepare_incremental(
     ordering: EntryOrdering = EntryOrdering.BY_CONTRIBUTION,
     hybrid_threshold: int = DEFAULT_HYBRID_THRESHOLD,
     shared_items_hint=None,
+    epoch_size: int | None = None,
 ) -> tuple[DetectionResult, IncrementalState]:
     """Run the from-scratch (HYBRID) round and set up incremental state.
 
     Returns the round's detection result and the state that
-    :func:`incremental_round` will evolve in subsequent rounds.
+    :func:`incremental_round` will evolve in subsequent rounds.  With
+    ``params.backend == "numpy"`` the preparation scan runs epoch-batched
+    (:mod:`repro.core.bound_kernel`); the bookkeeping it yields — and
+    therefore every subsequent incremental round — is bit-identical to
+    the pure-Python scan's.
     """
     outcome = detect_hybrid(
         dataset,
@@ -157,6 +162,7 @@ def prepare_incremental(
         hybrid_threshold=hybrid_threshold,
         track_bookkeeping=True,
         shared_items_hint=shared_items_hint,
+        epoch_size=epoch_size,
     )
     assert outcome.bookkeeping is not None
     index = outcome.index

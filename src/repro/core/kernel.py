@@ -207,6 +207,93 @@ def expand_incidences(
     )
 
 
+def expand_incidences_ordered(
+    offsets: np.ndarray, providers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand a columnar entry block into *entry-ordered* incidence streams.
+
+    Like :func:`expand_incidences`, entries are grouped by provider count
+    ``k`` so each group's upper triangle comes out of one broadcast — but
+    the concatenated group outputs are then scattered back into **entry
+    processing order** (computed arithmetically from per-entry incidence
+    counts, no sort).  The early-terminating scans need this: their
+    per-pair accumulation must replay the reference's left-to-right
+    addition order bit-for-bit, and ``np.add.at`` preserves exactly the
+    stream order it is handed.
+
+    Args:
+        offsets: CSR offsets into ``providers``, shape ``(E + 1,)``.
+        providers: concatenated provider ids (sorted within each entry).
+
+    Returns:
+        ``(row, islot, jslot)`` aligned streams over all incidences, in
+        entry order (and triangle order within an entry): the entry index
+        ``row`` and the flat ``providers`` slots of the smaller-/larger-id
+        provider.  Everything else (pair ids, probabilities, per-slot
+        scan counts) is a gather away.
+    """
+    counts = np.diff(offsets)
+    tri = counts * (counts - 1) // 2
+    total = int(tri.sum())
+    row = np.empty(total, dtype=np.int64)
+    islot = np.empty(total, dtype=np.int64)
+    jslot = np.empty(total, dtype=np.int64)
+    if total == 0:
+        return row, islot, jslot
+    # Destination offset of each entry's first incidence in stream order.
+    dest_start = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(tri, out=dest_start[1:])
+    for k in np.unique(counts):
+        if k < 2:
+            continue
+        rows_k = np.nonzero(counts == k)[0]
+        slot_mat = offsets[rows_k][:, None] + np.arange(int(k))
+        iu, ju = np.triu_indices(int(k), 1)
+        t = len(iu)
+        dest = (dest_start[rows_k][:, None] + np.arange(t)).ravel()
+        row[dest] = np.repeat(rows_k, t)
+        islot[dest] = slot_mat[:, iu].ravel()
+        jslot[dest] = slot_mat[:, ju].ravel()
+    return row, islot, jslot
+
+
+def score_incidence_args(
+    probs: np.ndarray,
+    acc1: np.ndarray,
+    acc2: np.ndarray,
+    params: CopyParams,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eq. (6) *log arguments* with the reference's exact arithmetic.
+
+    :func:`score_incidences` is free to associate the float math however
+    is fastest because the exhaustive scans are compared at 1e-9.  The
+    bound scans are held to a harder standard — bit-identical decisions —
+    so this variant mirrors the scalar reference expression by expression
+    (``q * (1/n)`` rather than ``q / n``, same multiplication order) and
+    stops *before* the log: IEEE-754 ``+ * /`` are correctly rounded and
+    therefore identical between NumPy and scalar Python, whereas
+    ``np.log``'s SIMD path may differ from ``math.log`` by an ulp.  The
+    caller applies ``math.log`` per element to finish the job.
+
+    Returns:
+        ``(arg_fwd, arg_bwd)`` — the operands of the forward/backward
+        ``ln`` per incidence.
+    """
+    s = params.s
+    one_minus_s = 1.0 - s
+    inv_n = 1.0 / params.n
+    q = 1.0 - probs
+    q_over_n = q * inv_n
+    na1 = 1.0 - acc1
+    na2 = 1.0 - acc2
+    singles1 = probs * acc1 + q * na1
+    singles2 = probs * acc2 + q * na2
+    denom = probs * acc1 * acc2 + q_over_n * na1 * na2
+    arg_fwd = one_minus_s + s * singles2 / denom
+    arg_bwd = one_minus_s + s * singles1 / denom
+    return arg_fwd, arg_bwd
+
+
 def clamp_accuracies(accuracies: Sequence[float], params: CopyParams) -> np.ndarray:
     """Vectorized :meth:`CopyParams.clamp_accuracy` over a source array."""
     return np.clip(

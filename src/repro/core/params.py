@@ -43,13 +43,17 @@ class CopyParams:
             ``[accuracy_clamp, 1 - accuracy_clamp]`` before any log/ratio
             computation so that scores stay finite (sources with accuracy
             exactly 0 or 1 would otherwise produce infinities).
-        backend: score-accumulation backend for the exhaustive scans.
-            ``"python"`` (default) runs the pure-Python reference loops;
-            ``"numpy"`` routes PAIRWISE, INDEX and the parallel engine
-            through the vectorized kernel (:mod:`repro.core.kernel`),
-            which agrees with the reference to within float re-association
-            error (property-tested at 1e-9).  The early-terminating BOUND
-            family is inherently sequential and ignores the switch.
+        backend: score-accumulation backend.  ``"python"`` (default)
+            runs the pure-Python reference loops; ``"numpy"`` routes
+            PAIRWISE, INDEX and the parallel engine through the
+            vectorized kernel (:mod:`repro.core.kernel`), which agrees
+            with the reference to within float re-association error
+            (property-tested at 1e-9), and the early-terminating
+            BOUND/BOUND+/HYBRID scans through the epoch-batched
+            implementation (:mod:`repro.core.bound_kernel`), which is
+            *bit-identical* to the reference — decisions, decision
+            positions, cost counters and INCREMENTAL bookkeeping
+            included.
     """
 
     alpha: float = 0.1

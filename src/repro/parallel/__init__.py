@@ -1,6 +1,6 @@
 """Partitioned/parallel detection (the paper's Section VIII future work)."""
 
-from .engine import detect_index_parallel
+from .engine import detect_hybrid_parallel, detect_index_parallel
 from .partition import (
     EntryPartition,
     partition_entries,
@@ -9,6 +9,7 @@ from .partition import (
 
 __all__ = [
     "EntryPartition",
+    "detect_hybrid_parallel",
     "detect_index_parallel",
     "partition_entries",
     "partition_weights",

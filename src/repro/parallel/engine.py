@@ -24,11 +24,14 @@ Executors:
   to each worker (the Hadoop analogue of shipping a partition to a
   node).
 
-Early-terminating variants (BOUND) are intentionally not parallelised:
-their per-pair state is sequential by design — the paper leaves exactly
-this as future work and suggests the strong-evidence prefix as the unit
-of parallelism, which ``strategy="blocks"`` over a BY_CONTRIBUTION
-ordering provides.
+Early termination *is* parallelised, the way the paper suggests — by the
+strong-evidence prefix (:func:`detect_hybrid_parallel`): the first
+``"blocks"`` partition of a BY_CONTRIBUTION ordering, where the early
+conclusions happen, is scanned sequentially with the HYBRID bound
+machinery (epoch-batched under ``backend="numpy"``), and the remaining
+blocks — by then pure accumulation for the surviving pairs — are
+map/reduced exactly like INDEX.  Pairs concluded inside the prefix keep
+their early verdicts; everything else resolves exactly.
 
 Backends: with ``backend="numpy"`` (or ``params.backend == "numpy"``)
 each partition is shipped as a *columnar payload*
@@ -42,9 +45,11 @@ with ``np.add.at`` instead of dict churn.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import replace
 from math import log
 from typing import Literal, Sequence
 
+from ..core.bound import DEFAULT_HYBRID_THRESHOLD, PrefixScanState, scan_with_bounds
 from ..core.contribution import posterior
 from ..core.index import InvertedIndex
 from ..core.params import BACKENDS, CopyParams
@@ -266,6 +271,183 @@ def _reduce(
     return DetectionResult(
         method="index-parallel",
         n_sources=n_sources,
+        decisions=decisions,
+        cost=cost,
+    )
+
+
+def detect_hybrid_parallel(
+    dataset: Dataset,
+    probabilities: Sequence[float],
+    accuracies: Sequence[float],
+    params: CopyParams,
+    n_partitions: int = 4,
+    executor: Executor = "serial",
+    index: InvertedIndex | None = None,
+    hybrid_threshold: int = DEFAULT_HYBRID_THRESHOLD,
+    backend: str | None = None,
+    epoch_size: int | None = None,
+) -> DetectionResult:
+    """HYBRID over the strong-evidence prefix, INDEX map/reduce after it.
+
+    The paper observes that BOUND+'s timers "provide good insights on
+    which entries can be processed in parallel": under BY_CONTRIBUTION
+    ordering almost every early conclusion falls inside the first block
+    of entries.  This detector exploits that:
+
+    1. The first of ``n_partitions`` ``"blocks"`` partitions — the
+       strong-evidence prefix — is scanned *sequentially* with the full
+       HYBRID machinery (``scan_with_bounds(stop_at=...)``; epoch-batched
+       under ``backend="numpy"``).  Pairs that conclude there keep their
+       early verdicts and are never touched again.
+    2. The remaining blocks are scanned in parallel exactly like
+       :func:`detect_index_parallel` (columnar payloads + flat-table
+       merge under numpy, dict partials under python).  Workers are
+       oblivious to the prefix verdicts, so a concluded pair's suffix
+       contributions are computed and discarded — the usual price of
+       coordination-free map work.
+    3. The reducer adds suffix sums to the survivors' prefix
+       accumulators, applies the different-value penalty and Eq. (2).
+       Pairs first seen in the suffix follow INDEX's skip rule (opened
+       only with a non-tail incidence).
+
+    Early *copying* conclusions are sound (``C^min`` bounds the exact
+    score from below), so they agree with exact detection; early
+    *no-copying* conclusions inherit Eq. (10)'s estimate, exactly as in
+    the sequential HYBRID.  Survivor scores are exact.  With
+    ``n_partitions=1`` the prefix is the whole index and the result
+    equals :func:`repro.core.detect_hybrid`'s bit for bit.
+
+    Raises:
+        ValueError: for an unknown executor or backend name.
+    """
+    if executor not in ("serial", "threads", "processes"):
+        raise ValueError(
+            f"unknown executor {executor!r}; expected serial/threads/processes"
+        )
+    if backend is None:
+        backend = params.backend
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend != params.backend:
+        params = replace(params, backend=backend)
+    if index is None:
+        index = InvertedIndex.build(dataset, probabilities, accuracies, params)
+    partitions = partition_entries(index, n_partitions, "blocks")
+    prefix_len = len(partitions[0].positions)
+    prefix = scan_with_bounds(
+        dataset,
+        probabilities,
+        accuracies,
+        params,
+        index=index,
+        hybrid_threshold=hybrid_threshold,
+        method_name="hybrid-parallel",
+        stop_at=prefix_len,
+        collect_state=True,
+        epoch_size=epoch_size,
+    )
+    assert isinstance(prefix, PrefixScanState)
+    suffix_parts = [part for part in partitions[1:] if part.positions]
+
+    # Map/reduce the suffix into per-pair [c_fwd, c_bwd, n, saw_main].
+    merged: _Partial = {}
+    if suffix_parts:
+        if backend == "numpy":
+            from ..core.kernel import ColumnarEntries, PairTable, scan_columnar
+
+            payloads = [
+                ColumnarEntries.from_index(index, part.positions)
+                for part in suffix_parts
+            ]
+            tables = _run_map(
+                scan_columnar,
+                payloads,
+                executor,
+                list(accuracies),
+                params,
+                dataset.n_sources,
+            )
+            non_empty = [t for t in tables if len(t)]
+            if non_empty:
+                table = PairTable.merge(non_empty)
+                for pair, c_fwd, c_bwd, n_shared, saw_main in zip(
+                    table.pairs(),
+                    table.c_fwd.tolist(),
+                    table.c_bwd.tolist(),
+                    table.n_shared.tolist(),
+                    table.saw_main.tolist(),
+                ):
+                    merged[pair] = [c_fwd, c_bwd, float(n_shared), float(saw_main)]
+        else:
+            payloads = [_payload(index, part) for part in suffix_parts]
+            partials = _run_map(
+                _scan_partition, payloads, executor, list(accuracies), params
+            )
+            for partial in partials:
+                for pair, cell in partial.items():
+                    target = merged.get(pair)
+                    if target is None:
+                        merged[pair] = list(cell)
+                    else:
+                        target[0] += cell[0]
+                        target[1] += cell[1]
+                        target[2] += cell[2]
+                        if cell[3]:
+                            target[3] = 1.0
+
+    # Reduce: early verdicts stand; survivors absorb their suffix sums.
+    ln_diff = params.ln_one_minus_s
+    shared_items = index.shared_items
+    cost = CostCounter()
+    decisions: dict[tuple[int, int], PairDecision] = dict(prefix.done)
+    cost.values_examined = prefix.incidences
+    cost.computations = prefix.score_updates + prefix.bound_evals
+    suffix_incidences = 0
+    exact_pairs = 0
+    for survivors in (prefix.active, prefix.exact):
+        for pair, (c0_fwd, c0_bwd, n0) in survivors.items():
+            cell = merged.get(pair)
+            if cell is not None:
+                c0_fwd += cell[0]
+                c0_bwd += cell[1]
+                n0 += int(cell[2])
+            penalty = (shared_items[pair] - n0) * ln_diff
+            c_fwd = c0_fwd + penalty
+            c_bwd = c0_bwd + penalty
+            post = posterior(c_fwd, c_bwd, params)
+            decisions[pair] = PairDecision(
+                c_fwd=c_fwd,
+                c_bwd=c_bwd,
+                posterior=post,
+                copying=post.copying,
+                early=False,
+            )
+            exact_pairs += 1
+    for pair, (c_fwd, c_bwd, n_shared, saw_main) in merged.items():
+        suffix_incidences += int(n_shared)
+        if pair in decisions:
+            continue  # early verdicts stand; survivors already resolved
+        if not saw_main:
+            continue  # suffix-tail-only pair: INDEX never opens it
+        penalty = (shared_items[pair] - int(n_shared)) * ln_diff
+        c_fwd += penalty
+        c_bwd += penalty
+        post = posterior(c_fwd, c_bwd, params)
+        decisions[pair] = PairDecision(
+            c_fwd=c_fwd,
+            c_bwd=c_bwd,
+            posterior=post,
+            copying=post.copying,
+            early=False,
+        )
+        exact_pairs += 1
+    cost.values_examined += suffix_incidences
+    cost.computations += 2 * suffix_incidences + 2 * exact_pairs
+    cost.pairs_considered = len(decisions)
+    return DetectionResult(
+        method="hybrid-parallel",
+        n_sources=dataset.n_sources,
         decisions=decisions,
         cost=cost,
     )

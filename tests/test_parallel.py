@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.core import CopyParams, InvertedIndex, detect_index
 from repro.parallel import (
+    detect_hybrid_parallel,
     detect_index_parallel,
     partition_entries,
     partition_weights,
@@ -253,4 +254,110 @@ class TestColumnarBackend:
                 example_accuracies,
                 params,
                 backend="gpu",
+            )
+
+
+class TestHybridParallel:
+    """Strong-evidence-prefix partitioning of the HYBRID scan."""
+
+    def test_single_partition_equals_sequential_hybrid(
+        self, example, example_probabilities, example_accuracies
+    ):
+        """With one block the prefix is everything: bit-identical HYBRID."""
+        from repro.core import detect_hybrid
+
+        for backend in ("python", "numpy"):
+            params = CopyParams(backend=backend)
+            parallel = detect_hybrid_parallel(
+                example,
+                example_probabilities,
+                example_accuracies,
+                params,
+                n_partitions=1,
+            )
+            sequential = detect_hybrid(
+                example, example_probabilities, example_accuracies, params
+            ).result
+            assert parallel.decisions == sequential.decisions, backend
+
+    @settings(max_examples=25, deadline=None)
+    @given(world=worlds(), n_partitions=st.integers(min_value=1, max_value=5))
+    def test_executors_agree_bitwise(self, world, n_partitions):
+        dataset, probs, accs = world
+        for backend in ("python", "numpy"):
+            params = CopyParams(backend=backend)
+            serial = detect_hybrid_parallel(
+                dataset, probs, accs, params, n_partitions=n_partitions
+            )
+            threaded = detect_hybrid_parallel(
+                dataset,
+                probs,
+                accs,
+                params,
+                n_partitions=n_partitions,
+                executor="threads",
+            )
+            assert threaded.decisions == serial.decisions, backend
+            assert threaded.cost.computations == serial.cost.computations
+
+    @settings(max_examples=25, deadline=None)
+    @given(world=worlds(), n_partitions=st.integers(min_value=2, max_value=4))
+    def test_sound_against_exact_detection(self, world, n_partitions):
+        """Early-copy verdicts are C^min-sound; survivors are exact."""
+        dataset, probs, accs = world
+        reference = detect_index(dataset, probs, accs, CopyParams())
+        result = detect_hybrid_parallel(
+            dataset, probs, accs, CopyParams(), n_partitions=n_partitions
+        )
+        for pair, decision in result.decisions.items():
+            exact = reference.decision_for(*pair)
+            if decision.early and decision.copying:
+                assert exact is not None and exact.copying
+            if not decision.early:
+                assert exact is not None
+                assert decision.copying == exact.copying
+                assert decision.c_fwd == pytest.approx(exact.c_fwd, abs=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(world=worlds())
+    def test_backends_agree_on_verdicts(self, world):
+        dataset, probs, accs = world
+        python = detect_hybrid_parallel(
+            dataset, probs, accs, CopyParams(), n_partitions=3
+        )
+        numpy_ = detect_hybrid_parallel(
+            dataset, probs, accs, CopyParams(backend="numpy"), n_partitions=3
+        )
+        assert set(numpy_.decisions) == set(python.decisions)
+        for pair, decision in numpy_.decisions.items():
+            reference = python.decisions[pair]
+            assert decision.copying == reference.copying
+            assert decision.early == reference.early
+            assert decision.c_fwd == pytest.approx(reference.c_fwd, abs=1e-9)
+            assert decision.c_bwd == pytest.approx(reference.c_bwd, abs=1e-9)
+
+    def test_processes_executor(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        """A real process pool reproduces the serial outcome."""
+        serial = detect_hybrid_parallel(
+            example, example_probabilities, example_accuracies, params,
+            n_partitions=3,
+        )
+        processes = detect_hybrid_parallel(
+            example, example_probabilities, example_accuracies, params,
+            n_partitions=3, executor="processes",
+        )
+        assert processes.decisions == serial.decisions
+
+    def test_unknown_executor(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        with pytest.raises(ValueError):
+            detect_hybrid_parallel(
+                example,
+                example_probabilities,
+                example_accuracies,
+                params,
+                executor="gpu",
             )
