@@ -9,17 +9,21 @@ subsequent PR can compare against this one.
 
 Run it directly::
 
-    PYTHONPATH=src python benchmarks/bench_kernel_backend.py
+    PYTHONPATH=src python benchmarks/bench_kernel_backend.py [--smoke]
+        [--output PATH]
 
 The world is deliberately *dense* (uniform stock-style coverage): the
 kernel's advantage scales with the number of (pair, shared value)
 incidences, which is exactly the regime the paper's Hadoop section targets.
 The acceptance bar recorded by ``check`` is a >= 3x speedup on the INDEX
-entry scan.
+entry scan.  ``--smoke`` shrinks the world for CI (the bar still holds —
+the kernel's advantage survives well below this size); ``--output``
+redirects the artifact so the committed baseline stays untouched.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import time
@@ -42,6 +46,18 @@ WORLD_CONFIG = GeneratorConfig(
     copiers_per_group=3,
 )
 
+#: CI smoke world: same dense shape at roughly a quarter the incidences
+#: (large enough that the vectorization win keeps a clear margin over
+#: the 3x floor on noisy CI runners).
+SMOKE_WORLD_CONFIG = GeneratorConfig(
+    n_items=250,
+    n_independent_sources=130,
+    coverage_model="uniform",
+    coverage_range=(0.3, 0.6),
+    n_copier_groups=3,
+    copiers_per_group=2,
+)
+
 
 def _best_of(fn, repeats: int = 3) -> float:
     best = float("inf")
@@ -52,8 +68,8 @@ def _best_of(fn, repeats: int = 3) -> float:
     return best
 
 
-def run() -> dict:
-    world = generate(WORLD_CONFIG)
+def run(smoke: bool = False) -> dict:
+    world = generate(SMOKE_WORLD_CONFIG if smoke else WORLD_CONFIG)
     dataset = world.dataset
     probabilities = vote_probabilities(dataset)
     accuracies = [0.8] * dataset.n_sources
@@ -118,6 +134,7 @@ def run() -> dict:
 
     return {
         "benchmark": "kernel_backend",
+        "smoke": smoke,
         "world": {
             "n_sources": dataset.n_sources,
             "n_items": dataset.n_items,
@@ -137,17 +154,25 @@ def run() -> dict:
     }
 
 
-def main() -> int:
-    report = run()
-    OUTPUT_PATH.parent.mkdir(exist_ok=True)
-    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small world for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT_PATH, help="artifact path"
+    )
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     for name, pair in report["timings_seconds"].items():
         print(
             f"{name:16s} python={pair['python']:.4f}s "
             f"numpy={pair['numpy']:.4f}s speedup={pair['speedup']:.1f}x"
         )
     print(f"check: {report['check']['target']} -> passed={report['check']['passed']}")
-    print(f"artifact -> {OUTPUT_PATH}")
+    print(f"artifact -> {args.output}")
     return 0 if report["check"]["passed"] else 1
 
 

@@ -1,0 +1,305 @@
+"""Micro-benchmark: the parallel engine's scaling knobs.
+
+Companion to ``bench_kernel_backend.py``/``bench_bound_backend.py``:
+this module tracks the *execution layer* — process-pool scaling with the
+shared-memory world broadcast, flat vs tree reduction, and entry-count
+vs work-balanced partitioning — on a dense synthetic world at >= 8
+partitions, and writes a ``BENCH_parallel.json`` artifact so every
+subsequent PR can compare against this one.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_engine.py [--smoke]
+        [--output PATH]
+
+``--smoke`` shrinks the world for CI; ``--output`` redirects the
+artifact (CI writes to a scratch directory so the committed baseline
+stays untouched).
+
+Wall-clock speedups from a process pool depend on the core count of the
+machine (CI runners and the dev container may expose a single core, in
+which case pool overhead dominates), so the recorded ``check`` gates
+*correctness* — every configuration must reproduce the sequential
+verdicts — plus the partition-balance property of the ``"work"``
+strategy, while the timings document the scaling trajectory per
+platform.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.core import CopyParams, InvertedIndex, detect_index
+from repro.fusion import vote_probabilities
+from repro.parallel import (
+    detect_hybrid_parallel,
+    detect_index_parallel,
+    partition_entries,
+    partition_weights,
+    shared_memory_available,
+)
+from repro.synth.generator import GeneratorConfig, generate
+
+DEFAULT_OUTPUT = Path(__file__).parent / "output" / "BENCH_parallel.json"
+
+#: The kernel benchmark's dense 212-source recipe.
+WORLD_CONFIG = GeneratorConfig(
+    n_items=400,
+    n_independent_sources=200,
+    coverage_model="uniform",
+    coverage_range=(0.3, 0.6),
+    n_copier_groups=4,
+    copiers_per_group=3,
+)
+
+#: CI smoke world: same shape, small enough for a sub-minute job.
+SMOKE_WORLD_CONFIG = GeneratorConfig(
+    n_items=150,
+    n_independent_sources=90,
+    coverage_model="uniform",
+    coverage_range=(0.3, 0.6),
+    n_copier_groups=3,
+    copiers_per_group=2,
+)
+
+PARTITION_COUNTS = (1, 4, 8, 16)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _same_verdicts(result, reference) -> bool:
+    return (
+        set(result.decisions) == set(reference.decisions)
+        and result.copying_pairs() == reference.copying_pairs()
+    )
+
+
+def run(smoke: bool = False) -> dict:
+    config = SMOKE_WORLD_CONFIG if smoke else WORLD_CONFIG
+    world = generate(config)
+    dataset = world.dataset
+    probabilities = vote_probabilities(dataset)
+    accuracies = [0.8] * dataset.n_sources
+    params = CopyParams(backend="numpy")
+    index = InvertedIndex.build(dataset, probabilities, accuracies, params)
+    incidences = sum(
+        len(e.providers) * (len(e.providers) - 1) // 2 for e in index.entries
+    )
+    sequential = detect_index(
+        dataset, probabilities, accuracies, params, index=index
+    )
+    all_match = True
+
+    def timed(n_partitions, executor, reduce, strategy="stride"):
+        nonlocal all_match
+        result = detect_index_parallel(
+            dataset,
+            probabilities,
+            accuracies,
+            params,
+            n_partitions=n_partitions,
+            strategy=strategy,
+            executor=executor,
+            reduce=reduce,
+            index=index,
+        )
+        all_match = all_match and _same_verdicts(result, sequential)
+        return _best_of(
+            lambda: detect_index_parallel(
+                dataset,
+                probabilities,
+                accuracies,
+                params,
+                n_partitions=n_partitions,
+                strategy=strategy,
+                executor=executor,
+                reduce=reduce,
+                index=index,
+            ),
+            repeats=2 if executor == "processes" else 3,
+        )
+
+    # Process-pool scaling over the broadcast world, flat vs tree reduce.
+    scaling: dict[str, dict] = {}
+    for n_partitions in PARTITION_COUNTS:
+        row = {
+            "serial_flat": timed(n_partitions, "serial", "flat"),
+            "processes_flat": timed(n_partitions, "processes", "flat"),
+            "processes_tree": timed(n_partitions, "processes", "tree"),
+        }
+        scaling[str(n_partitions)] = row
+
+    # Reduce topology at high partition counts, serial map so the merge
+    # cost dominates the measurement.
+    reduce_row = {
+        "flat": timed(16, "serial", "flat"),
+        "tree": timed(16, "serial", "tree"),
+    }
+
+    # Partition balance: stride vs work (max/min incidence load at 8).
+    balance = {}
+    for strategy in ("stride", "work"):
+        parts = partition_entries(index, 8, strategy)
+        weights = [partition_weights(index, p) for p in parts]
+        balance[strategy] = {
+            "min": min(weights),
+            "max": max(weights),
+            "spread": max(weights) - min(weights),
+        }
+    balanced = balance["work"]["spread"] <= balance["stride"]["spread"]
+
+    # HYBRID with the suffix map/reduced through the same machinery.
+    # Same configuration across executors must be *bit-identical* (the
+    # shm broadcast ships the very same arrays); different reduce/
+    # partition configurations re-associate float sums and are compared
+    # at verdict level by the tests instead.
+    hybrid_serial = detect_hybrid_parallel(
+        dataset,
+        probabilities,
+        accuracies,
+        params,
+        n_partitions=8,
+        reduce="tree",
+        partition_by="work",
+        index=index,
+    )
+    hybrid_processes = detect_hybrid_parallel(
+        dataset,
+        probabilities,
+        accuracies,
+        params,
+        n_partitions=8,
+        executor="processes",
+        reduce="tree",
+        partition_by="work",
+        index=index,
+    )
+    hybrid_identical = hybrid_processes.decisions == hybrid_serial.decisions
+    hybrid = {
+        "serial": _best_of(
+            lambda: detect_hybrid_parallel(
+                dataset,
+                probabilities,
+                accuracies,
+                params,
+                n_partitions=8,
+                index=index,
+            ),
+            repeats=2,
+        ),
+        "processes_tree_work": _best_of(
+            lambda: detect_hybrid_parallel(
+                dataset,
+                probabilities,
+                accuracies,
+                params,
+                n_partitions=8,
+                executor="processes",
+                reduce="tree",
+                partition_by="work",
+                index=index,
+            ),
+            repeats=2,
+        ),
+    }
+
+    passed = all_match and hybrid_identical and balanced
+    return {
+        "benchmark": "parallel_engine",
+        "smoke": smoke,
+        "world": {
+            "n_sources": dataset.n_sources,
+            "n_items": dataset.n_items,
+            "n_values": dataset.n_values,
+            "index_entries": index.n_entries,
+            "incidences": incidences,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "shared_memory": shared_memory_available(),
+        },
+        "timings_seconds": {
+            "index_sequential": _best_of(
+                lambda: detect_index(
+                    dataset, probabilities, accuracies, params, index=index
+                )
+            ),
+            "scaling_by_partitions": scaling,
+            "reduce_at_16_partitions": reduce_row,
+            "hybrid_at_8_partitions": hybrid,
+        },
+        "partition_balance_at_8": balance,
+        "check": {
+            "target": (
+                "all partitioned configurations reproduce the sequential "
+                "verdicts; 'work' partitioning balances no worse than "
+                "'stride'"
+            ),
+            "passed": passed,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small world for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="artifact path"
+    )
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    world = report["world"]
+    print(
+        f"world: {world['n_sources']} sources, {world['n_items']} items, "
+        f"{world['incidences']:,} incidences "
+        f"(cpu_count={report['platform']['cpu_count']}, "
+        f"shm={report['platform']['shared_memory']})"
+    )
+    timings = report["timings_seconds"]
+    print(f"sequential index scan: {timings['index_sequential']:.4f}s")
+    for n_parts, row in timings["scaling_by_partitions"].items():
+        print(
+            f"  P={n_parts:>2s} serial={row['serial_flat']:.4f}s "
+            f"processes(flat)={row['processes_flat']:.4f}s "
+            f"processes(tree)={row['processes_tree']:.4f}s"
+        )
+    reduce_row = timings["reduce_at_16_partitions"]
+    print(
+        f"reduce at P=16: flat={reduce_row['flat']:.4f}s "
+        f"tree={reduce_row['tree']:.4f}s"
+    )
+    for strategy, row in report["partition_balance_at_8"].items():
+        print(
+            f"balance[{strategy}]: min={row['min']:,} max={row['max']:,} "
+            f"spread={row['spread']:,}"
+        )
+    hybrid = timings["hybrid_at_8_partitions"]
+    print(
+        f"hybrid P=8: serial={hybrid['serial']:.4f}s "
+        f"processes(tree,work)={hybrid['processes_tree_work']:.4f}s"
+    )
+    print(f"check: {report['check']['target']} -> passed={report['check']['passed']}")
+    print(f"artifact -> {args.output}")
+    return 0 if report["check"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

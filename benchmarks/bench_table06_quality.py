@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import CopyParams
 from repro.eval import quality_vs_reference, render_table, run_method
 
 from conftest import SAMPLE_FRACTIONS, emit_report

@@ -20,6 +20,8 @@ from pathlib import Path
 from .core import (
     BACKENDS,
     METHODS,
+    PARTITION_AXES,
+    REDUCE_MODES,
     CopyParams,
     IncrementalDetector,
     SingleRoundDetector,
@@ -103,20 +105,89 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_parallel(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--n-partitions",
+        type=int,
+        default=1,
+        metavar="P",
+        help="split the index scan into P shares and map/reduce them "
+        "(index and hybrid only; 1 = sequential)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["serial", "threads", "processes"],
+        default="serial",
+        help="how partitions run: in-process, a thread pool, or a real "
+        "process pool (the columnar world is broadcast via shared "
+        "memory under --backend numpy)",
+    )
+    parser.add_argument(
+        "--reduce",
+        choices=list(REDUCE_MODES),
+        default="flat",
+        help="merge partial results in one pass ('flat') or pairwise "
+        "('tree', O(log P) merge depth at large partition counts)",
+    )
+    parser.add_argument(
+        "--partition-by",
+        choices=list(PARTITION_AXES),
+        default="entries",
+        help="balance partitions by entry count ('entries') or by "
+        "estimated incidence work ('work', straggler-resistant)",
+    )
+
+
+def _detect_parallel(args, dataset, probabilities, accuracies, params):
+    """Route ``detect --n-partitions > 1`` through the parallel engine."""
+    from .parallel import detect_hybrid_parallel, detect_index_parallel
+
+    if args.method == "index":
+        return detect_index_parallel(
+            dataset,
+            probabilities,
+            accuracies,
+            params,
+            n_partitions=args.n_partitions,
+            strategy="work" if args.partition_by == "work" else "stride",
+            executor=args.executor,
+            reduce=args.reduce,
+        )
+    if args.method == "hybrid":
+        return detect_hybrid_parallel(
+            dataset,
+            probabilities,
+            accuracies,
+            params,
+            n_partitions=args.n_partitions,
+            executor=args.executor,
+            epoch_size=args.epoch_size,
+            reduce=args.reduce,
+            partition_by=args.partition_by,
+        )
+    raise SystemExit(
+        f"--n-partitions > 1 supports methods 'index' and 'hybrid', "
+        f"not {args.method!r}"
+    )
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     dataset = load_claims(args.claims)
     params = _params(args)
     probabilities = vote_probabilities(dataset)
     accuracies = [0.8] * dataset.n_sources
     start = time.perf_counter()
-    result = detect(
-        dataset,
-        probabilities,
-        accuracies,
-        params,
-        method=args.method,
-        epoch_size=args.epoch_size,
-    )
+    if args.n_partitions > 1:
+        result = _detect_parallel(args, dataset, probabilities, accuracies, params)
+    else:
+        result = detect(
+            dataset,
+            probabilities,
+            accuracies,
+            params,
+            method=args.method,
+            epoch_size=args.epoch_size,
+        )
     elapsed = time.perf_counter() - start
     copying = sorted(
         (pair for pair, d in result.decisions.items() if d.copying),
@@ -241,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the evidence breakdown for the N most-confident pairs",
     )
     _add_params(p_det)
+    _add_parallel(p_det)
     p_det.set_defaults(func=_cmd_detect)
 
     p_fuse = sub.add_parser("fuse", help="iterative fusion with copy detection")

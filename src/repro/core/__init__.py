@@ -38,7 +38,7 @@ from .index import EntryOrdering, IndexEntry, InvertedIndex
 from .index_algo import detect_index
 from .maxscore import max_score, max_score_bruteforce
 from .pairwise import detect_pairwise
-from .params import BACKENDS, CopyParams
+from .params import BACKENDS, PARTITION_AXES, REDUCE_MODES, CopyParams
 from .popularity import (
     detect_pairwise_popular,
     estimate_relative_popularity,
@@ -88,7 +88,9 @@ __all__ = [
     "PairDecision",
     "PairTable",
     "PairExplanation",
+    "PARTITION_AXES",
     "PrefixScanState",
+    "REDUCE_MODES",
     "RoundStats",
     "ScanOutcome",
     "SingleRoundDetector",

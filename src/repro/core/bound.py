@@ -124,7 +124,7 @@ class PairBookkeeping:
     decision_pos: int
     n_before: int
     n_after: int
-    l: int
+    l: int  # noqa: E741 — the paper's l(S1,S2); renaming would orphan the golden fixtures' key
 
 
 @dataclass
@@ -352,8 +352,8 @@ def scan_with_bounds(
                 if state is None:
                     if in_tail:
                         continue  # Step III opens no new pairs
-                    l = shared_items[pair]
-                    if l <= hybrid_threshold:
+                    l_shared = shared_items[pair]
+                    if l_shared <= hybrid_threshold:
                         incidences += 1
                         score_updates += 2
                         denom = p * a1 * accs[j] + q_over_n * na1 * nots[j]
@@ -377,7 +377,7 @@ def scan_with_bounds(
                 state.c0_fwd += log(one_minus_s + s * singles[j] / denom)
                 state.c0_bwd += log(one_minus_s + s * ps1 / denom)
 
-                l = shared_items[pair]
+                l_shared = shared_items[pair]
                 # --- C^min check (Eq. 9) --------------------------------
                 if not use_timers or state.n0 >= state.min_check_at:
                     bound_evals += 1
@@ -389,7 +389,7 @@ def scan_with_bounds(
                                 state.max_check_n1, state.max_check_n2,
                             )
                         )
-                    penalty = (l - state.n0) * ln_diff
+                    penalty = (l_shared - state.n0) * ln_diff
                     cmin_fwd = state.c0_fwd + penalty
                     cmin_bwd = state.c0_bwd + penalty
                     best_min = max(cmin_fwd, cmin_bwd)
@@ -418,11 +418,11 @@ def scan_with_bounds(
                             )
                         )
                     h = max(
-                        n_src[s1] * l / items_per_source[s1],
-                        n_src[s2] * l / items_per_source[s2],
+                        n_src[s1] * l_shared / items_per_source[s1],
+                        n_src[s2] * l_shared / items_per_source[s2],
                     )
-                    h = min(max(h, float(state.n0)), float(l))
-                    spread = (h - state.n0) * ln_diff + (l - h) * next_max
+                    h = min(max(h, float(state.n0)), float(l_shared))
+                    spread = (h - state.n0) * ln_diff + (l_shared - h) * next_max
                     cmax_fwd = state.c0_fwd + spread
                     cmax_bwd = state.c0_bwd + spread
                     worst_max = max(cmax_fwd, cmax_bwd)
@@ -436,10 +436,10 @@ def scan_with_bounds(
                         t_max0 = ceil((worst_max - theta_ind) / step)
                         needed_diff = t_max0 + (h - state.n0)
                         state.max_check_n1 = ceil(
-                            needed_diff * items_per_source[s1] / l
+                            needed_diff * items_per_source[s1] / l_shared
                         )
                         state.max_check_n2 = ceil(
-                            needed_diff * items_per_source[s2] / l
+                            needed_diff * items_per_source[s2] / l_shared
                         )
 
     cost.values_examined = incidences
@@ -480,8 +480,8 @@ def scan_with_bounds(
         cost.pairs_considered += 1
         if state.status == _ACTIVE:
             cost.score_update(2)
-            l = shared_items[pair]
-            penalty = (l - state.n0) * ln_diff
+            l_shared = shared_items[pair]
+            penalty = (l_shared - state.n0) * ln_diff
             c_fwd = state.c0_fwd + penalty
             c_bwd = state.c0_bwd + penalty
             post = posterior(c_fwd, c_bwd, params)
@@ -499,9 +499,9 @@ def scan_with_bounds(
         assert decision is not None
         decisions[pair] = decision
         if bookkeeping is not None:
-            l = shared_items[pair]
+            l_shared = shared_items[pair]
             n_total = state.n_before + state.n_after
-            base_penalty = (l - n_total) * ln_diff
+            base_penalty = (l_shared - n_total) * ln_diff
             # c0 at the decision point, reconstructed: for early pairs the
             # stored c0 already stopped growing at the decision entry.
             bookkeeping[pair] = PairBookkeeping(
@@ -512,7 +512,7 @@ def scan_with_bounds(
                 decision_pos=state.decision_pos,
                 n_before=state.n_before,
                 n_after=state.n_after,
-                l=l,
+                l=l_shared,
             )
 
     # Exact-mode (INDEX-style) pairs resolve at scan end too.
@@ -520,8 +520,8 @@ def scan_with_bounds(
         pair = (key // n_total_sources, key % n_total_sources)
         cost.pairs_considered += 1
         cost.score_update(2)
-        l = shared_items[pair]
-        penalty = (l - int(n_shared)) * ln_diff
+        l_shared = shared_items[pair]
+        penalty = (l_shared - int(n_shared)) * ln_diff
         c_fwd += penalty
         c_bwd += penalty
         post = posterior(c_fwd, c_bwd, params)
@@ -541,7 +541,7 @@ def scan_with_bounds(
                 decision_pos=end_position,
                 n_before=int(n_shared),
                 n_after=0,
-                l=l,
+                l=l_shared,
             )
 
     result = DetectionResult(

@@ -730,13 +730,13 @@ class EpochScan:
             state = int(self.status[key])
             pair = divmod(key, n)
             cost.pairs_considered += 1
-            l = int(self.l_arr[key])
+            l_shared = int(self.l_arr[key])
             c0f = float(self.c0_fwd[key])
             c0b = float(self.c0_bwd[key])
             if state in (_ACTIVE, _EXACT):
                 cost.score_update(2)
                 n0 = int(self.n0[key])
-                penalty = (l - n0) * ln_diff
+                penalty = (l_shared - n0) * ln_diff
                 c_fwd = c0f + penalty
                 c_bwd = c0b + penalty
                 post = posterior(c_fwd, c_bwd, params)
@@ -756,7 +756,7 @@ class EpochScan:
             decisions[pair] = decision
             if bookkeeping is not None:
                 n_total = n_before + n_aft
-                base_penalty = (l - n_total) * ln_diff
+                base_penalty = (l_shared - n_total) * ln_diff
                 bookkeeping[pair] = PairBookkeeping(
                     copying=decision.copying,
                     early=decision.early,
@@ -765,7 +765,7 @@ class EpochScan:
                     decision_pos=decision_pos,
                     n_before=n_before,
                     n_after=n_aft,
-                    l=l,
+                    l=l_shared,
                 )
         result = DetectionResult(
             method=method_name,

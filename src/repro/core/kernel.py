@@ -129,6 +129,44 @@ class ColumnarEntries:
         provider_lists = [entries[pos].providers for pos in positions]
         return cls._from_rows(probs, main, provider_lists)
 
+    def take(self, positions: Sequence[int] | np.ndarray) -> "ColumnarEntries":
+        """Gather a subset of entries into a new columnar block.
+
+        This is the worker-side half of the parallel engine's
+        shared-memory broadcast: the whole world is shipped once and each
+        worker slices out its partition with one vectorized gather instead
+        of receiving a pickled per-partition payload.
+
+        Args:
+            positions: entry positions to keep, in the order they should
+                appear in the result (the engine passes them in
+                processing order).
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        counts = self.offsets[pos + 1] - self.offsets[pos]
+        offsets = np.zeros(len(pos) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        if total:
+            starts = self.offsets[pos]
+            # Flat source index per kept provider slot: within group g the
+            # running arange minus the group's destination start gives
+            # 0..counts[g]-1, offset by the group's source start.
+            idx = (
+                np.repeat(starts, counts)
+                + np.arange(total, dtype=np.int64)
+                - np.repeat(offsets[:-1], counts)
+            )
+            providers = self.providers[idx]
+        else:
+            providers = np.empty(0, dtype=np.int64)
+        return ColumnarEntries(
+            probs=self.probs[pos],
+            main=self.main[pos],
+            offsets=offsets,
+            providers=providers,
+        )
+
     @classmethod
     def from_value_groups(
         cls, dataset: "Dataset", probabilities: Sequence[float]

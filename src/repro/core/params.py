@@ -27,6 +27,18 @@ from dataclasses import dataclass
 #: than in :mod:`repro.core.kernel` so validation never imports NumPy.
 BACKENDS = ("python", "numpy")
 
+#: Reduction topologies accepted by the parallel engine's ``reduce=``
+#: parameter (and the CLI's ``--reduce``): ``"flat"`` merges all partial
+#: results in one pass, ``"tree"`` merges them pairwise so the reduce is
+#: O(log P) deep at large partition counts.  Defined alongside
+#: :data:`BACKENDS` so argument validation stays import-light.
+REDUCE_MODES = ("flat", "tree")
+
+#: CLI-level partitioning axes (``--partition-by``): ``"entries"`` splits
+#: by entry count (stride/blocks), ``"work"`` by estimated incidence work
+#: (see :mod:`repro.parallel.partition`).
+PARTITION_AXES = ("entries", "work")
+
 
 @dataclass(frozen=True)
 class CopyParams:

@@ -122,7 +122,6 @@ def link_records(
     """
     cfg = config or LinkageConfig()
     record_list = [dict(r) for r in records]
-    n = len(record_list)
 
     # ------------------------------------------------------------------
     # Value statistics -> evidence weights.

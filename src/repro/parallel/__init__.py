@@ -3,14 +3,37 @@
 from .engine import detect_hybrid_parallel, detect_index_parallel
 from .partition import (
     EntryPartition,
+    PartitionStrategy,
+    entry_work,
     partition_entries,
+    partition_positions_by_work,
     partition_weights,
 )
+#: Names re-exported lazily from .shm: importing repro.parallel must not
+#: require NumPy (only the opt-in ``backend="numpy"`` paths do).
+_SHM_EXPORTS = frozenset(
+    {"SharedWorld", "ShmWorldHandle", "shared_memory_available"}
+)
+
+
+def __getattr__(name: str):
+    if name in _SHM_EXPORTS:
+        from . import shm
+
+        return getattr(shm, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "EntryPartition",
+    "PartitionStrategy",
+    "SharedWorld",
+    "ShmWorldHandle",
     "detect_hybrid_parallel",
     "detect_index_parallel",
+    "entry_work",
     "partition_entries",
+    "partition_positions_by_work",
     "partition_weights",
+    "shared_memory_available",
 ]

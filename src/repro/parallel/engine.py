@@ -20,9 +20,28 @@ Executors:
   Python math, so this demonstrates plumbing rather than speedup, but it
   exercises real concurrency in the merge path.
 * ``"processes"`` — a process pool via :mod:`concurrent.futures`; gives
-  real parallelism for large worlds at the cost of pickling the claims
-  to each worker (the Hadoop analogue of shipping a partition to a
-  node).
+  real parallelism for large worlds.  Under ``backend="numpy"`` the
+  columnar world is broadcast to the pool **once** through
+  :mod:`multiprocessing.shared_memory` (:mod:`repro.parallel.shm`) and
+  each task ships only its partition's entry positions; when shared
+  memory is unavailable the engine falls back to pickling one columnar
+  payload per partition (the Hadoop analogue of shipping a partition to
+  a node).
+
+Reduction topologies (``reduce=``):
+
+* ``"flat"`` — merge all P partial results in one pass (cost O(P) deep).
+* ``"tree"`` — merge pairwise, halving the table count per level, so the
+  reduce is O(log P) deep — the shape the ROADMAP calls for at large
+  partition counts, and what a distributed combiner tree would run.
+  Both topologies compute the same sums (floats re-associate, so flat
+  and tree agree to re-association error; at ``n_partitions=1`` there is
+  nothing to merge and both are bit-identical to the sequential scan).
+
+Partitioning (see :mod:`repro.parallel.partition`): ``"stride"`` and
+``"blocks"`` split by entry count; ``"work"`` balances estimated
+incidence work so a straggler holding the popular values stops bounding
+wall-clock.
 
 Early termination *is* parallelised, the way the paper suggests — by the
 strong-evidence prefix (:func:`detect_hybrid_parallel`): the first
@@ -30,20 +49,20 @@ strong-evidence prefix (:func:`detect_hybrid_parallel`): the first
 conclusions happen, is scanned sequentially with the HYBRID bound
 machinery (epoch-batched under ``backend="numpy"``), and the remaining
 blocks — by then pure accumulation for the surviving pairs — are
-map/reduced exactly like INDEX.  Pairs concluded inside the prefix keep
-their early verdicts; everything else resolves exactly.
+map/reduced exactly like INDEX (shared-memory broadcast, tree reduce and
+work-balanced suffix shares included).  Pairs concluded inside the
+prefix keep their early verdicts; everything else resolves exactly.
 
 Backends: with ``backend="numpy"`` (or ``params.backend == "numpy"``)
-each partition is shipped as a *columnar payload*
-(:class:`repro.core.kernel.ColumnarEntries` — flat probability/provider
-arrays rather than per-entry tuples of Python lists, much cheaper to
-pickle to worker processes), scanned with the vectorized kernel, and the
-reduce step merges flat :class:`~repro.core.kernel.PairTable` partials
-with ``np.add.at`` instead of dict churn.
+each partition is scanned with the vectorized kernel over columnar
+payloads (:class:`repro.core.kernel.ColumnarEntries`) and the reduce
+step merges flat :class:`~repro.core.kernel.PairTable` partials with
+``np.add.at``/``np.bincount`` instead of dict churn.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import replace
 from math import log
@@ -52,12 +71,18 @@ from typing import Literal, Sequence
 from ..core.bound import DEFAULT_HYBRID_THRESHOLD, PrefixScanState, scan_with_bounds
 from ..core.contribution import posterior
 from ..core.index import InvertedIndex
-from ..core.params import BACKENDS, CopyParams
+from ..core.params import BACKENDS, PARTITION_AXES, REDUCE_MODES, CopyParams
 from ..core.result import CostCounter, DetectionResult, PairDecision
 from ..data import Dataset
-from .partition import EntryPartition, PartitionStrategy, partition_entries
+from .partition import (
+    EntryPartition,
+    PartitionStrategy,
+    partition_entries,
+    partition_positions_by_work,
+)
 
 Executor = Literal["serial", "threads", "processes"]
+ReduceMode = Literal["flat", "tree"]
 
 #: partial accumulator per pair: [c_fwd, c_bwd, n_shared, saw_main]
 _Partial = dict[tuple[int, int], list[float]]
@@ -110,18 +135,27 @@ def _scan_partition(
     return partial
 
 
+def _pool_workers(n_tasks: int) -> int:
+    """Worker count for a pool: one per task, capped at the core count."""
+    return max(1, min(n_tasks, os.cpu_count() or 1))
+
+
 def _run_map(worker, payloads, executor: Executor, *extra):
     """Run ``worker(payload, *extra)`` per payload under the executor.
 
     ``worker`` must be a top-level (picklable) function so the same
     dispatch serves thread and process pools.
     """
+    if not payloads:
+        # Every partition was empty (a world with no shared values):
+        # nothing to scan, and ThreadPoolExecutor rejects max_workers=0.
+        return []
     if executor == "serial" or len(payloads) == 1:
         return [worker(pl, *extra) for pl in payloads]
     if executor == "threads":
-        with ThreadPoolExecutor(max_workers=len(payloads)) as pool:
+        with ThreadPoolExecutor(max_workers=_pool_workers(len(payloads))) as pool:
             return list(pool.map(lambda pl: worker(pl, *extra), payloads))
-    with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+    with ProcessPoolExecutor(max_workers=_pool_workers(len(payloads))) as pool:
         futures = [pool.submit(worker, pl, *extra) for pl in payloads]
         return [f.result() for f in futures]
 
@@ -138,6 +172,159 @@ def _payload(index: InvertedIndex, partition: EntryPartition):
     ]
 
 
+# ----------------------------------------------------------------------
+# Reduce topologies
+# ----------------------------------------------------------------------
+def _merge_partial_into(target: _Partial, partial: _Partial) -> _Partial:
+    """Accumulate one dict partial into another (the binary merge op)."""
+    for pair, cell in partial.items():
+        cur = target.get(pair)
+        if cur is None:
+            target[pair] = list(cell)
+        else:
+            cur[0] += cell[0]
+            cur[1] += cell[1]
+            cur[2] += cell[2]
+            if cell[3]:
+                cur[3] = 1.0
+    return target
+
+
+def _tree_reduce(items: list, merge_pair):
+    """Pairwise (tree-wise) reduction: each level halves the item count.
+
+    O(log P) merge depth — the topology a distributed combiner tree
+    would run, shared by both partial representations (and by whatever
+    a future multi-host reduce plugs in as ``merge_pair``).
+    """
+    while len(items) > 1:
+        items = [
+            merge_pair(items[i], items[i + 1]) if i + 1 < len(items) else items[i]
+            for i in range(0, len(items), 2)
+        ]
+    return items[0]
+
+
+def _merge_partials(partials: Sequence[_Partial], reduce_mode: ReduceMode) -> _Partial:
+    """Merge dict partials flat (one pass) or tree-wise (pairwise)."""
+    live = [p for p in partials if p]
+    if not live:
+        return {}
+    if reduce_mode == "tree":
+        return _tree_reduce(live, _merge_partial_into)
+    merged: _Partial = {}
+    for partial in live:
+        _merge_partial_into(merged, partial)
+    return merged
+
+
+def _merge_tables(tables, reduce_mode: ReduceMode):
+    """Merge :class:`PairTable` partials; None when all are empty.
+
+    ``"flat"`` concatenates every table and reduces once; ``"tree"``
+    runs :func:`_tree_reduce` over them.
+    """
+    from ..core.kernel import PairTable
+
+    live = [t for t in tables if len(t)]
+    if not live:
+        return None
+    if reduce_mode == "tree":
+        return _tree_reduce(live, lambda a, b: PairTable.merge([a, b]))
+    return PairTable.merge(live)
+
+
+# ----------------------------------------------------------------------
+# Columnar map step (shared-memory broadcast under "processes")
+# ----------------------------------------------------------------------
+def _map_columnar_shm(
+    index: InvertedIndex,
+    parts: list[EntryPartition],
+    accuracies: Sequence[float],
+    params: CopyParams,
+    n_sources: int,
+):
+    """Scan partitions in a process pool over one broadcast world.
+
+    Returns None when shared memory is unavailable (the caller falls
+    back to pickled per-partition payloads).
+    """
+    try:
+        import numpy as np
+
+        from ..core.kernel import ColumnarEntries
+        from .shm import SharedWorld, scan_shm_partition
+    except ImportError:  # pragma: no cover - numpy is a declared dep
+        return None
+    cols = ColumnarEntries.from_index(index)
+    try:
+        world = SharedWorld.create(cols, list(accuracies), n_sources)
+    except OSError:
+        # No usable shared memory on this platform (e.g. read-only or
+        # missing /dev/shm): pickle payloads instead.
+        return None
+    try:
+        with ProcessPoolExecutor(max_workers=_pool_workers(len(parts))) as pool:
+            futures = [
+                pool.submit(
+                    scan_shm_partition,
+                    world.handle,
+                    np.asarray(part.positions, dtype=np.int64),
+                    params,
+                )
+                for part in parts
+            ]
+            return [f.result() for f in futures]
+    finally:
+        world.close()
+
+
+def _map_columnar(
+    index: InvertedIndex,
+    partitions: Sequence[EntryPartition],
+    accuracies: Sequence[float],
+    params: CopyParams,
+    n_sources: int,
+    executor: Executor,
+):
+    """Map step over columnar payloads: one :class:`PairTable` per share.
+
+    Under the ``"processes"`` executor the world is broadcast once via
+    shared memory; ``"serial"``/``"threads"`` share the parent's address
+    space already, and platforms without shm fall back to pickled
+    payloads — all three paths run the identical ``scan_columnar`` over
+    identical arrays, so the choice never affects results.
+    """
+    from ..core.kernel import ColumnarEntries, scan_columnar
+
+    parts = [part for part in partitions if part.positions]
+    if executor == "processes" and len(parts) > 1:
+        tables = _map_columnar_shm(index, parts, accuracies, params, n_sources)
+        if tables is not None:
+            return tables
+    payloads = [ColumnarEntries.from_index(index, part.positions) for part in parts]
+    return _run_map(
+        scan_columnar, payloads, executor, list(accuracies), params, n_sources
+    )
+
+
+def _validate(executor: str, backend: str | None, reduce: str, params: CopyParams):
+    """Shared argument validation; returns the effective backend."""
+    if executor not in ("serial", "threads", "processes"):
+        raise ValueError(
+            f"unknown executor {executor!r}; expected serial/threads/processes"
+        )
+    if backend is None:
+        backend = params.backend
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if reduce not in REDUCE_MODES:
+        raise ValueError(
+            f"unknown reduce mode {reduce!r}; expected one of {REDUCE_MODES}"
+        )
+    return backend
+
+
 def detect_index_parallel(
     dataset: Dataset,
     probabilities: Sequence[float],
@@ -148,6 +335,7 @@ def detect_index_parallel(
     executor: Executor = "serial",
     index: InvertedIndex | None = None,
     backend: str | None = None,
+    reduce: ReduceMode = "flat",
 ) -> DetectionResult:
     """INDEX over a partitioned scan; verdicts identical to sequential.
 
@@ -157,36 +345,34 @@ def detect_index_parallel(
         accuracies: ``A(S)`` per source id.
         params: model parameters.
         n_partitions: number of entry shares (>= 1).
-        strategy: ``"stride"`` (load-balanced) or ``"blocks"``.
+        strategy: ``"stride"`` (entry-count balanced), ``"blocks"``
+            (contiguous) or ``"work"`` (incidence-cost balanced).
         executor: ``"serial"``, ``"threads"`` or ``"processes"``.
         index: prebuilt index to reuse.
         backend: ``"python"`` (per-entry tuple payloads, dict merge) or
-            ``"numpy"`` (columnar payloads, flat-array merge); defaults
-            to ``params.backend``.
+            ``"numpy"`` (columnar payloads — broadcast once via shared
+            memory under ``"processes"`` — and flat-array merge);
+            defaults to ``params.backend``.
+        reduce: ``"flat"`` (single-pass merge) or ``"tree"`` (pairwise,
+            O(log P) depth).
 
     Raises:
-        ValueError: for an unknown executor or backend name.
+        ValueError: for an unknown executor, backend, strategy or reduce
+            mode.
     """
-    if executor not in ("serial", "threads", "processes"):
-        raise ValueError(
-            f"unknown executor {executor!r}; expected serial/threads/processes"
-        )
-    if backend is None:
-        backend = params.backend
-    if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    backend = _validate(executor, backend, reduce, params)
     if index is None:
         index = InvertedIndex.build(dataset, probabilities, accuracies, params)
     partitions = partition_entries(index, n_partitions, strategy)
     if backend == "numpy":
         return _detect_parallel_numpy(
-            index, accuracies, params, partitions, executor, dataset.n_sources
+            index, accuracies, params, partitions, executor, dataset.n_sources, reduce
         )
     payloads = [_payload(index, part) for part in partitions]
     partials = _run_map(
         _scan_partition, payloads, executor, list(accuracies), params
     )
-    return _reduce(partials, index, dataset.n_sources, params)
+    return _reduce(partials, index, dataset.n_sources, params, reduce)
 
 
 def _detect_parallel_numpy(
@@ -196,23 +382,20 @@ def _detect_parallel_numpy(
     partitions: list[EntryPartition],
     executor: Executor,
     n_sources: int,
+    reduce_mode: ReduceMode,
 ) -> DetectionResult:
     """Map/reduce over columnar payloads via the vectorized kernel."""
-    from ..core.kernel import ColumnarEntries, PairTable, decide_pairs, scan_columnar
+    from ..core.kernel import decide_pairs
 
-    payloads = [
-        ColumnarEntries.from_index(index, part.positions) for part in partitions
-    ]
-    tables = _run_map(
-        scan_columnar, payloads, executor, list(accuracies), params, n_sources
+    tables = _map_columnar(
+        index, partitions, accuracies, params, n_sources, executor
     )
-    non_empty = [t for t in tables if len(t)]
+    merged = _merge_tables(tables, reduce_mode)
     cost = CostCounter()
-    if not non_empty:
+    if merged is None:
         return DetectionResult(
             method="index-parallel", n_sources=n_sources, decisions={}, cost=cost
         )
-    merged = PairTable.merge(non_empty)
     decisions = decide_pairs(merged, index.shared_items, params, require_main=True)
     # Same accounting as the dict-based reduce: every merged incidence is
     # examined, only opened (non-tail) pairs are considered.
@@ -232,20 +415,10 @@ def _reduce(
     index: InvertedIndex,
     n_sources: int,
     params: CopyParams,
+    reduce_mode: ReduceMode = "flat",
 ) -> DetectionResult:
     """Reduce step: merge partials, apply penalties, decide."""
-    merged: _Partial = {}
-    for partial in partials:
-        for pair, cell in partial.items():
-            target = merged.get(pair)
-            if target is None:
-                merged[pair] = list(cell)
-            else:
-                target[0] += cell[0]
-                target[1] += cell[1]
-                target[2] += cell[2]
-                if cell[3]:
-                    target[3] = 1.0
+    merged = _merge_partials(partials, reduce_mode)
 
     ln_diff = params.ln_one_minus_s
     shared_items = index.shared_items
@@ -287,6 +460,8 @@ def detect_hybrid_parallel(
     hybrid_threshold: int = DEFAULT_HYBRID_THRESHOLD,
     backend: str | None = None,
     epoch_size: int | None = None,
+    reduce: ReduceMode = "flat",
+    partition_by: str = "entries",
 ) -> DetectionResult:
     """HYBRID over the strong-evidence prefix, INDEX map/reduce after it.
 
@@ -301,15 +476,21 @@ def detect_hybrid_parallel(
        under ``backend="numpy"``).  Pairs that conclude there keep their
        early verdicts and are never touched again.
     2. The remaining blocks are scanned in parallel exactly like
-       :func:`detect_index_parallel` (columnar payloads + flat-table
-       merge under numpy, dict partials under python).  Workers are
-       oblivious to the prefix verdicts, so a concluded pair's suffix
-       contributions are computed and discarded — the usual price of
-       coordination-free map work.
-    3. The reducer adds suffix sums to the survivors' prefix
-       accumulators, applies the different-value penalty and Eq. (2).
-       Pairs first seen in the suffix follow INDEX's skip rule (opened
-       only with a non-tail incidence).
+       :func:`detect_index_parallel` (columnar payloads — broadcast once
+       via shared memory under ``"processes"`` — with flat-table merge
+       under numpy, dict partials under python).  With
+       ``partition_by="work"`` the suffix is re-split into
+       incidence-cost-balanced shares instead of equal blocks, so a
+       popular-value straggler stops bounding wall-clock; the prefix is
+       unchanged, so early verdicts are identical either way.  Workers
+       are oblivious to the prefix verdicts, so a concluded pair's
+       suffix contributions are computed and discarded — the usual price
+       of coordination-free map work.
+    3. The reducer (flat or tree-wise, per ``reduce=``) adds suffix sums
+       to the survivors' prefix accumulators, applies the
+       different-value penalty and Eq. (2).  Pairs first seen in the
+       suffix follow INDEX's skip rule (opened only with a non-tail
+       incidence).
 
     Early *copying* conclusions are sound (``C^min`` bounds the exact
     score from below), so they agree with exact detection; early
@@ -319,16 +500,15 @@ def detect_hybrid_parallel(
     equals :func:`repro.core.detect_hybrid`'s bit for bit.
 
     Raises:
-        ValueError: for an unknown executor or backend name.
+        ValueError: for an unknown executor, backend, reduce mode or
+            partition axis.
     """
-    if executor not in ("serial", "threads", "processes"):
+    backend = _validate(executor, backend, reduce, params)
+    if partition_by not in PARTITION_AXES:
         raise ValueError(
-            f"unknown executor {executor!r}; expected serial/threads/processes"
+            f"unknown partition_by {partition_by!r}; "
+            f"expected one of {PARTITION_AXES}"
         )
-    if backend is None:
-        backend = params.backend
-    if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     if backend != params.backend:
         params = replace(params, backend=backend)
     if index is None:
@@ -348,29 +528,23 @@ def detect_hybrid_parallel(
         epoch_size=epoch_size,
     )
     assert isinstance(prefix, PrefixScanState)
-    suffix_parts = [part for part in partitions[1:] if part.positions]
+    if partition_by == "work" and n_partitions > 1:
+        suffix_parts = partition_positions_by_work(
+            index, range(prefix_len, index.n_entries), n_partitions - 1
+        )
+    else:
+        suffix_parts = partitions[1:]
+    suffix_parts = [part for part in suffix_parts if part.positions]
 
     # Map/reduce the suffix into per-pair [c_fwd, c_bwd, n, saw_main].
     merged: _Partial = {}
     if suffix_parts:
         if backend == "numpy":
-            from ..core.kernel import ColumnarEntries, PairTable, scan_columnar
-
-            payloads = [
-                ColumnarEntries.from_index(index, part.positions)
-                for part in suffix_parts
-            ]
-            tables = _run_map(
-                scan_columnar,
-                payloads,
-                executor,
-                list(accuracies),
-                params,
-                dataset.n_sources,
+            tables = _map_columnar(
+                index, suffix_parts, accuracies, params, dataset.n_sources, executor
             )
-            non_empty = [t for t in tables if len(t)]
-            if non_empty:
-                table = PairTable.merge(non_empty)
+            table = _merge_tables(tables, reduce)
+            if table is not None:
                 for pair, c_fwd, c_bwd, n_shared, saw_main in zip(
                     table.pairs(),
                     table.c_fwd.tolist(),
@@ -384,17 +558,7 @@ def detect_hybrid_parallel(
             partials = _run_map(
                 _scan_partition, payloads, executor, list(accuracies), params
             )
-            for partial in partials:
-                for pair, cell in partial.items():
-                    target = merged.get(pair)
-                    if target is None:
-                        merged[pair] = list(cell)
-                    else:
-                        target[0] += cell[0]
-                        target[1] += cell[1]
-                        target[2] += cell[2]
-                        if cell[3]:
-                            target[3] = 1.0
+            merged = _merge_partials(partials, reduce)
 
     # Reduce: early verdicts stand; survivors absorb their suffix sums.
     ln_diff = params.ln_one_minus_s

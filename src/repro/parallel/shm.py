@@ -1,0 +1,204 @@
+"""Shared-memory broadcast of the columnar world to process-pool workers.
+
+The parallel engine's original process-pool path pickled one columnar
+payload *per partition* — at P partitions the provider/probability arrays
+cross the process boundary P times, and the payload construction itself
+(per-partition gathers in the parent) is serial work that grows with P.
+This module broadcasts the whole world **once** instead:
+
+1. The parent packs the :class:`~repro.core.kernel.ColumnarEntries` of
+   the full index plus the clamped accuracy vector into a single
+   :class:`multiprocessing.shared_memory.SharedMemory` block
+   (:class:`SharedWorld`).
+2. Each task ships only a tiny :class:`ShmWorldHandle` (the block name
+   plus per-array dtype/offset/length metadata) and the partition's entry
+   positions.
+3. Workers attach to the block *once per process* (module-level cache),
+   reconstruct zero-copy array views over the buffer, and slice their
+   partition out with :meth:`ColumnarEntries.take`.
+
+The engine falls back to pickled per-partition payloads whenever shared
+memory is unavailable (platforms without ``/dev/shm``, permission errors,
+or an interpreter built without ``multiprocessing.shared_memory``) — the
+scan itself is byte-for-byte the same either way, so the fallback changes
+performance only, never results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.kernel import ColumnarEntries
+
+
+def shared_memory_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` can actually allocate."""
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - all supported platforms have it
+        return False
+    try:
+        block = shared_memory.SharedMemory(create=True, size=1)
+    except OSError:  # pragma: no cover - e.g. read-only /dev/shm
+        return False
+    block.close()
+    block.unlink()
+    return True
+
+
+@dataclass(frozen=True)
+class ShmWorldHandle:
+    """Pickle-cheap descriptor of a broadcast world.
+
+    Attributes:
+        name: the shared-memory block's system-wide name.
+        fields: ``(field, dtype, byte_offset, n_elements)`` per array, in
+            the order they were packed.
+        n_sources: source count (workers need it for pair keys).
+    """
+
+    name: str
+    fields: tuple[tuple[str, str, int, int], ...]
+    n_sources: int
+
+
+def _attach(handle: ShmWorldHandle):
+    """Attach to a broadcast block and rebuild the arrays (worker side)."""
+    from multiprocessing import shared_memory
+
+    try:
+        # Python 3.13+: opt out of resource tracking — the parent owns
+        # the block's lifetime and unlinks it.
+        block = shared_memory.SharedMemory(name=handle.name, track=False)
+    except TypeError:
+        # Pre-3.13 interpreters register the attachment with the resource
+        # tracker too.  The tracker's name cache is shared across the
+        # process tree (registrations of the same name collapse), so the
+        # parent's unlink-time unregister clears it — workers must NOT
+        # unregister themselves or the tracker sees double removals.
+        block = shared_memory.SharedMemory(name=handle.name)
+    arrays = {}
+    for field, dtype, offset, length in handle.fields:
+        arrays[field] = np.ndarray(
+            (length,), dtype=np.dtype(dtype), buffer=block.buf, offset=offset
+        )
+    return block, arrays
+
+
+#: Worker-process cache: one attachment per broadcast block, reused by
+#: every task the worker executes (the pool outlives the tasks).
+_ATTACHED: dict = {}
+
+
+def attached_world(handle: ShmWorldHandle):
+    """Worker-side accessor: ``(ColumnarEntries, accuracies)`` views.
+
+    The views are zero-copy over the shared block; attachments are cached
+    per process so the cost is paid once per worker, not per partition.
+    """
+    cached = _ATTACHED.get(handle.name)
+    if cached is None:
+        from ..core.kernel import ColumnarEntries
+
+        block, arrays = _attach(handle)
+        cols = ColumnarEntries(
+            probs=arrays["probs"],
+            main=arrays["main"].view(bool),
+            offsets=arrays["offsets"],
+            providers=arrays["providers"],
+        )
+        cached = (block, cols, arrays["accuracies"])
+        _ATTACHED[handle.name] = cached
+    return cached[1], cached[2]
+
+
+class SharedWorld:
+    """Parent-side owner of one broadcast block (context manager).
+
+    Usage::
+
+        with SharedWorld.create(cols, accuracies, n_sources) as world:
+            pool.submit(worker, world.handle, positions, ...)
+
+    The block is unlinked on exit; workers hold attachments only for the
+    lifetime of their pool.
+    """
+
+    def __init__(self, block, handle: ShmWorldHandle):
+        self._block = block
+        self.handle = handle
+
+    @classmethod
+    def create(
+        cls,
+        cols: "ColumnarEntries",
+        accuracies: Sequence[float] | np.ndarray,
+        n_sources: int,
+    ) -> "SharedWorld":
+        """Pack a columnar world + accuracies into one fresh shm block.
+
+        Raises:
+            OSError: when the platform cannot allocate shared memory (the
+                engine catches this and falls back to pickled payloads).
+        """
+        from multiprocessing import shared_memory
+
+        arrays = {
+            "probs": np.ascontiguousarray(cols.probs, dtype=np.float64),
+            # bool stored as uint8 for a stable cross-process dtype token.
+            "main": np.ascontiguousarray(cols.main, dtype=np.uint8),
+            "offsets": np.ascontiguousarray(cols.offsets, dtype=np.int64),
+            "providers": np.ascontiguousarray(cols.providers, dtype=np.int64),
+            "accuracies": np.ascontiguousarray(accuracies, dtype=np.float64),
+        }
+        fields = []
+        offset = 0
+        for field, arr in arrays.items():
+            # 8-byte alignment keeps every view's dtype happy.
+            offset = (offset + 7) & ~7
+            fields.append((field, arr.dtype.str, offset, len(arr)))
+            offset += arr.nbytes
+        block = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for (_, dtype, start, length), arr in zip(fields, arrays.values()):
+            view = np.ndarray(
+                (length,), dtype=np.dtype(dtype), buffer=block.buf, offset=start
+            )
+            view[:] = arr
+        handle = ShmWorldHandle(
+            name=block.name, fields=tuple(fields), n_sources=n_sources
+        )
+        return cls(block, handle)
+
+    def close(self) -> None:
+        """Release and unlink the block (idempotent)."""
+        if self._block is None:
+            return
+        self._block.close()
+        try:
+            self._block.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        self._block = None
+
+    def __enter__(self) -> "SharedWorld":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def scan_shm_partition(handle: ShmWorldHandle, positions, params):
+    """Map step over a broadcast world: slice a partition, scan it.
+
+    Top-level (picklable) so the engine can submit it to worker
+    processes; ``positions`` is the only per-task payload of any size.
+    """
+    from ..core.kernel import scan_columnar
+
+    cols, accuracies = attached_world(handle)
+    part = cols.take(np.asarray(positions, dtype=np.int64))
+    return scan_columnar(part, accuracies, params, handle.n_sources)

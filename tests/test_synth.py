@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import CopyParams, SingleRoundDetector
+from repro.core import SingleRoundDetector
 from repro.fusion import run_fusion
 from repro.synth import (
     PROFILES,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import CopyParams, detect, detect_pairwise
+from repro.core import detect, detect_pairwise
 from repro.data import DatasetBuilder
 from repro.fusion import FusionConfig, run_fusion
 
