@@ -1,0 +1,183 @@
+"""End-to-end benchmark: the iterative fusion loop, python vs numpy.
+
+The detection scans were vectorized in PRs 1-3; this bench tracks the
+*whole* ``run_fusion`` loop — per-round copy detection (INDEX over the
+vectorized kernel), the ACCU/ACCUCOPY truth-finding updates
+(:mod:`repro.fusion.accu_kernel`), and the round-persistent
+:class:`~repro.fusion.FusionWorkspace` — on the same dense 212-source
+world the kernel bench uses.  Three configurations:
+
+* ``python`` — the all-reference loop (detection and fusion math).
+* ``numpy_cold`` — ``backend="numpy"`` with the workspace created (and
+  torn down) inside each ``run_fusion`` call: per-call setup included.
+* ``numpy_reused`` — ``backend="numpy"`` with one pre-warmed workspace
+  passed across calls, the way a long-lived service would run
+  back-to-back fusions: columnar layouts, shared-item counts and pools
+  all amortised.
+
+The round count is pinned (``tolerance=0``) so every run does identical
+work.  The ``check`` block self-verifies correctness (identical fused
+truths across backends) and the acceptance bar is a >= 3x end-to-end
+speedup for ``numpy_reused``, gated by ``check_regression.py``.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_fusion_pipeline.py [--smoke]
+        [--output PATH]
+
+``--smoke`` shrinks the world for CI; ``--output`` redirects the
+artifact so the committed baseline stays untouched (baselines are
+historical records — regenerate only solo on an idle machine).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core import CopyParams, SingleRoundDetector
+from repro.fusion import FusionConfig, run_fusion
+from repro.synth.generator import GeneratorConfig, generate
+
+OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_fusion.json"
+
+#: The kernel bench's dense world: >= 200 sources (212 with the planted
+#: copier groups), uniform stock-style coverage.
+WORLD_CONFIG = GeneratorConfig(
+    n_items=400,
+    n_independent_sources=200,
+    coverage_model="uniform",
+    coverage_range=(0.3, 0.6),
+    n_copier_groups=4,
+    copiers_per_group=3,
+)
+
+#: CI smoke world: same dense shape at roughly a quarter the incidences.
+SMOKE_WORLD_CONFIG = GeneratorConfig(
+    n_items=250,
+    n_independent_sources=130,
+    coverage_model="uniform",
+    coverage_range=(0.3, 0.6),
+    n_copier_groups=3,
+    copiers_per_group=2,
+)
+
+#: Pinned round count — every timed run does identical work.
+ROUNDS = 3
+FUSION_CONFIG = FusionConfig(max_rounds=ROUNDS, min_rounds=ROUNDS, tolerance=0.0)
+
+
+def _fuse(dataset, backend: str, workspace=None):
+    params = CopyParams(backend=backend)
+    detector = SingleRoundDetector(params, method="index")
+    return run_fusion(
+        dataset,
+        params,
+        detector=detector,
+        config=FUSION_CONFIG,
+        workspace=workspace,
+    )
+
+
+def _best_of(fn, repeats: int = 2) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run(smoke: bool = False) -> dict:
+    from repro.fusion import FusionWorkspace
+
+    world = generate(SMOKE_WORLD_CONFIG if smoke else WORLD_CONFIG)
+    dataset = world.dataset
+    stats = dataset.stats()
+
+    t_python, result_python = _best_of(lambda: _fuse(dataset, "python"))
+    t_cold, result_cold = _best_of(lambda: _fuse(dataset, "numpy"))
+    with FusionWorkspace(dataset, CopyParams(backend="numpy")) as workspace:
+        _fuse(dataset, "numpy", workspace=workspace)  # warm the caches
+        t_reused, result_reused = _best_of(
+            lambda: _fuse(dataset, "numpy", workspace=workspace)
+        )
+
+    truths_match = (
+        result_python.chosen == result_cold.chosen == result_reused.chosen
+    )
+    verdicts_match = all(
+        rp.detection.copying_pairs()
+        == rc.detection.copying_pairs()
+        == rr.detection.copying_pairs()
+        for rp, rc, rr in zip(
+            result_python.rounds, result_cold.rounds, result_reused.rounds
+        )
+    )
+
+    timings = {
+        "run_fusion": {
+            "python": t_python,
+            "numpy_cold": t_cold,
+            "numpy_reused": t_reused,
+            "speedup_cold": t_python / t_cold,
+            "speedup_reused": t_python / t_reused,
+        }
+    }
+    return {
+        "benchmark": "fusion_pipeline",
+        "smoke": smoke,
+        "world": {
+            "n_sources": stats.n_sources,
+            "n_items": stats.n_items,
+            "n_values": stats.n_distinct_values,
+            "index_entries": stats.n_index_entries,
+        },
+        "rounds": ROUNDS,
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "timings_seconds": timings,
+        "check": {
+            "target": "identical fused truths/verdicts + "
+            "run_fusion speedup_reused >= 3x",
+            "truths_match": truths_match,
+            "verdicts_match": verdicts_match,
+            "passed": bool(
+                truths_match
+                and verdicts_match
+                and timings["run_fusion"]["speedup_reused"] >= 3.0
+            ),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small world for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT_PATH, help="artifact path"
+    )
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    pair = report["timings_seconds"]["run_fusion"]
+    print(
+        f"run_fusion ({report['rounds']} rounds) "
+        f"python={pair['python']:.3f}s cold={pair['numpy_cold']:.3f}s "
+        f"reused={pair['numpy_reused']:.3f}s "
+        f"speedup={pair['speedup_cold']:.1f}x/{pair['speedup_reused']:.1f}x"
+    )
+    print(f"check: {report['check']['target']} -> passed={report['check']['passed']}")
+    print(f"artifact -> {args.output}")
+    return 0 if report["check"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,8 +3,10 @@
 Compares freshly generated benchmark artifacts against the committed
 baselines under ``benchmarks/output/`` and **fails** (exit code 1) when:
 
-* the kernel backend's ``index_scan`` speedup, or the bound backend's
-  ``bound``/``bound+`` speedups, drop below the ROADMAP's 3x floor
+* the kernel backend's ``index_scan`` speedup, the bound backend's
+  ``bound``/``bound+`` speedups, or the fusion pipeline's
+  ``run_fusion`` reused-workspace speedup drop below the ROADMAP's 3x
+  floor
   (after a measurement-noise tolerance — speedups are a ratio of two
   wall-clock numbers and swing ~10% run to run even on an idle machine,
   so the hard cut is ``floor * (1 - tolerance)``; anything between the
@@ -23,6 +25,7 @@ Run locally::
     PYTHONPATH=src python benchmarks/bench_kernel_backend.py --smoke --output /tmp/fresh/BENCH_kernel.json
     PYTHONPATH=src python benchmarks/bench_bound_backend.py  --smoke --output /tmp/fresh/BENCH_bound.json
     PYTHONPATH=src python benchmarks/bench_parallel_engine.py --smoke --output /tmp/fresh/BENCH_parallel.json
+    PYTHONPATH=src python benchmarks/bench_fusion_pipeline.py --smoke --output /tmp/fresh/BENCH_fusion.json
     python benchmarks/check_regression.py --fresh /tmp/fresh
 
 CI runs exactly this sequence (see ``.github/workflows/ci.yml``).
@@ -68,6 +71,12 @@ def _speedups(report: dict, benchmark: str) -> dict[str, float]:
             "bound": timings["bound"]["speedup_default"],
             "bound+": timings["bound+"]["speedup_default"],
         }
+    if benchmark == "fusion":
+        return {
+            "run_fusion": report["timings_seconds"]["run_fusion"][
+                "speedup_reused"
+            ]
+        }
     return {}
 
 
@@ -84,6 +93,7 @@ def check(
         ("BENCH_kernel.json", "kernel", True),
         ("BENCH_bound.json", "bound", True),
         ("BENCH_parallel.json", "parallel", False),
+        ("BENCH_fusion.json", "fusion", True),
     ]
     for filename, benchmark, required in specs:
         fresh = _load(fresh_dir, filename)
@@ -112,6 +122,15 @@ def check(
             )
             if not identical:
                 print(f"FAIL  {filename}: backends not bit-identical")
+                failures += 1
+        if benchmark == "fusion":
+            if not (
+                fresh["check"]["truths_match"] and fresh["check"]["verdicts_match"]
+            ):
+                print(
+                    f"FAIL  {filename}: backends disagree on fused "
+                    f"truths/verdicts"
+                )
                 failures += 1
 
         for name, speedup in _speedups(fresh, benchmark).items():

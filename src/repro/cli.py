@@ -20,6 +20,7 @@ from pathlib import Path
 from .core import (
     BACKENDS,
     METHODS,
+    PARALLEL_METHODS,
     PARTITION_AXES,
     REDUCE_MODES,
     CopyParams,
@@ -229,13 +230,30 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 def _cmd_fuse(args: argparse.Namespace) -> int:
     dataset = load_claims(args.claims)
     params = _params(args)
+    if args.method not in PARALLEL_METHODS and (
+        args.n_partitions > 1 or args.executor != "serial"
+    ):
+        # Reject rather than silently run sequentially: a user asking for
+        # a partitioned scan or a pool must pick a partitionable method.
+        raise SystemExit(
+            f"--n-partitions > 1 / --executor supports methods "
+            f"{'/'.join(PARALLEL_METHODS)}, not {args.method!r}"
+        )
+    if args.executor != "serial" and args.n_partitions <= 1:
+        raise SystemExit("--executor requires --n-partitions > 1")
     if args.method == "none":
         detector = None
     elif args.method == "incremental":
         detector = IncrementalDetector(params, epoch_size=args.epoch_size)
     else:
         detector = SingleRoundDetector(
-            params, method=args.method, epoch_size=args.epoch_size
+            params,
+            method=args.method,
+            epoch_size=args.epoch_size,
+            n_partitions=args.n_partitions,
+            executor=args.executor,
+            reduce=args.reduce,
+            partition_by=args.partition_by,
         )
     config = FusionConfig(max_rounds=args.max_rounds)
     result = run_fusion(dataset, params, detector=detector, config=config)
@@ -328,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--truths", type=int, default=0, metavar="N", help="print first N fused truths"
     )
     _add_params(p_fuse)
+    _add_parallel(p_fuse)
     p_fuse.set_defaults(func=_cmd_fuse)
 
     p_bench = sub.add_parser(

@@ -23,6 +23,7 @@ from .contribution import (
 )
 from .detector import (
     METHODS,
+    PARALLEL_METHODS,
     IncrementalDetector,
     SingleRoundDetector,
     detect,
@@ -84,6 +85,7 @@ __all__ = [
     "IndexEntry",
     "InvertedIndex",
     "METHODS",
+    "PARALLEL_METHODS",
     "PairBookkeeping",
     "PairDecision",
     "PairTable",

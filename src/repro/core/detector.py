@@ -35,11 +35,15 @@ from .incremental import (
 from .index import EntryOrdering
 from .index_algo import detect_index
 from .pairwise import detect_pairwise
-from .params import CopyParams
+from .params import PARTITION_AXES, REDUCE_MODES, CopyParams
 from .result import DetectionResult
 
 #: Names accepted by :func:`detect` and the CLI.
 METHODS = ("pairwise", "index", "bound", "bound+", "hybrid")
+
+#: Methods the parallel engine can partition (everything else is either
+#: inherently pairwise or early-terminating over the whole scan order).
+PARALLEL_METHODS = ("index", "hybrid")
 
 
 def _cached_shared_items(
@@ -75,6 +79,7 @@ def detect(
     shared_items=None,
     backend: str | None = None,
     epoch_size: int | None = None,
+    workspace=None,
 ) -> DetectionResult:
     """Run one copy-detection round with the named algorithm.
 
@@ -97,6 +102,10 @@ def detect(
             bit-identical decisions).
         epoch_size: entries per epoch for the numpy BOUND scans (``None``
             picks the default; exhaustive methods ignore it).
+        workspace: a :class:`~repro.fusion.FusionWorkspace`; under the
+            numpy backend the round's columnar entries are assembled
+            from its frozen provider skeleton (one vectorized gather)
+            instead of re-columnarizing the index with Python loops.
 
     Returns:
         The round's :class:`DetectionResult`, with ``elapsed_seconds``
@@ -126,6 +135,12 @@ def detect(
             rng=rng,
             shared_items=shared_items,
         )
+        if (
+            workspace is not None
+            and workspace.dataset is dataset
+            and params.backend == "numpy"
+        ):
+            index.set_columnar_entries(workspace.columnar_for_index(index))
         if method == "index":
             result = detect_index(
                 dataset, probabilities, accuracies, params, index=index
@@ -162,8 +177,42 @@ def detect(
     return result
 
 
-class SingleRoundDetector:
-    """Stateless per-round detector: re-runs the named method every round."""
+class _WorkspaceMixin:
+    """Fusion-workspace plumbing shared by the stateful detectors.
+
+    :func:`repro.fusion.run_fusion` binds its
+    :class:`~repro.fusion.FusionWorkspace` for the duration of a fusion
+    run (and unbinds it on the way out, exceptions included).  While
+    bound, the workspace supplies the shared-item counts, the frozen
+    columnar entry skeleton and — for the parallel methods — persistent
+    executor pools and the persistent shared-memory broadcast.
+    """
+
+    _workspace = None
+
+    def bind_workspace(self, workspace) -> None:
+        """Attach (or, with ``None``, detach) a fusion workspace."""
+        self._workspace = workspace
+
+    def _shared_items(self, dataset: Dataset):
+        """Per-dataset shared-item counts (see :func:`_cached_shared_items`)."""
+        workspace = self._workspace
+        if workspace is not None and workspace.dataset is dataset:
+            return workspace.shared_items
+        self._shared_items_cache = _cached_shared_items(
+            self._shared_items_cache, dataset, self.params
+        )
+        return self._shared_items_cache[1]
+
+
+class SingleRoundDetector(_WorkspaceMixin):
+    """Stateless per-round detector: re-runs the named method every round.
+
+    With ``n_partitions > 1`` (methods ``"index"`` and ``"hybrid"``
+    only) each round's scan runs through the parallel engine —
+    partitioned, optionally on a thread/process pool, with the chosen
+    reduce topology — instead of the sequential dispatch.
+    """
 
     def __init__(
         self,
@@ -174,25 +223,55 @@ class SingleRoundDetector:
         hybrid_threshold: int = DEFAULT_HYBRID_THRESHOLD,
         backend: str | None = None,
         epoch_size: int | None = None,
+        n_partitions: int = 1,
+        executor: str = "serial",
+        reduce: str = "flat",
+        partition_by: str = "entries",
     ):
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
         if backend is not None and backend != params.backend:
             params = replace(params, backend=backend)
+        if n_partitions < 1:
+            raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
+        if n_partitions > 1 and method not in PARALLEL_METHODS:
+            raise ValueError(
+                f"n_partitions > 1 supports methods {PARALLEL_METHODS}, "
+                f"not {method!r}"
+            )
+        if executor not in ("serial", "threads", "processes"):
+            raise ValueError(
+                f"unknown executor {executor!r}; expected serial/threads/processes"
+            )
+        if reduce not in REDUCE_MODES:
+            raise ValueError(
+                f"unknown reduce mode {reduce!r}; expected one of {REDUCE_MODES}"
+            )
+        if partition_by not in PARTITION_AXES:
+            raise ValueError(
+                f"unknown partition_by {partition_by!r}; "
+                f"expected one of {PARTITION_AXES}"
+            )
         self.params = params
         self.method = method
         self.ordering = ordering
         self.rng = rng
         self.hybrid_threshold = hybrid_threshold
         self.epoch_size = epoch_size
+        self.n_partitions = n_partitions
+        self.executor = executor
+        self.reduce = reduce
+        self.partition_by = partition_by
         self._shared_items_cache: tuple[Dataset, dict] | None = None
 
-    def _shared_items(self, dataset: Dataset):
-        """Per-dataset shared-item counts (see :func:`_cached_shared_items`)."""
-        self._shared_items_cache = _cached_shared_items(
-            self._shared_items_cache, dataset, self.params
+    @property
+    def wants_workspace(self) -> bool:
+        """Whether a fusion workspace would pay off for this detector."""
+        return (
+            self.params.backend == "numpy"
+            or self.n_partitions > 1
+            or self.executor != "serial"
         )
-        return self._shared_items_cache[1]
 
     def run_round(
         self,
@@ -209,6 +288,11 @@ class SingleRoundDetector:
             if self.method == "pairwise" and self.params.backend == "python"
             else self._shared_items(dataset)
         )
+        if self.n_partitions > 1:
+            return self._run_parallel_round(
+                dataset, probabilities, accuracies, shared
+            )
+        workspace = self._workspace
         return detect(
             dataset,
             probabilities,
@@ -220,10 +304,72 @@ class SingleRoundDetector:
             hybrid_threshold=self.hybrid_threshold,
             shared_items=shared,
             epoch_size=self.epoch_size,
+            workspace=(
+                workspace
+                if workspace is not None and workspace.dataset is dataset
+                else None
+            ),
         )
 
+    def _run_parallel_round(
+        self,
+        dataset: Dataset,
+        probabilities: Sequence[float],
+        accuracies: Sequence[float],
+        shared,
+    ) -> DetectionResult:
+        """One round through the partitioned map/reduce engine."""
+        from ..parallel import detect_hybrid_parallel, detect_index_parallel
+        from .index import InvertedIndex
 
-class IncrementalDetector:
+        start = time.perf_counter()
+        index = InvertedIndex.build(
+            dataset,
+            probabilities,
+            accuracies,
+            self.params,
+            ordering=self.ordering,
+            rng=self.rng,
+            shared_items=shared,
+        )
+        workspace = self._workspace
+        if workspace is not None and workspace.dataset is not dataset:
+            workspace = None  # bound for another dataset: ignore, like _shared_items
+        if workspace is not None and self.params.backend == "numpy":
+            index.set_columnar_entries(workspace.columnar_for_index(index))
+        if self.method == "index":
+            result = detect_index_parallel(
+                dataset,
+                probabilities,
+                accuracies,
+                self.params,
+                n_partitions=self.n_partitions,
+                strategy="work" if self.partition_by == "work" else "stride",
+                executor=self.executor,
+                index=index,
+                reduce=self.reduce,
+                workspace=workspace,
+            )
+        else:  # hybrid
+            result = detect_hybrid_parallel(
+                dataset,
+                probabilities,
+                accuracies,
+                self.params,
+                n_partitions=self.n_partitions,
+                executor=self.executor,
+                index=index,
+                hybrid_threshold=self.hybrid_threshold,
+                epoch_size=self.epoch_size,
+                reduce=self.reduce,
+                partition_by=self.partition_by,
+                workspace=workspace,
+            )
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+
+class IncrementalDetector(_WorkspaceMixin):
     """Stateful detector implementing the paper's INCREMENTAL schedule.
 
     Rounds 1 and 2 run HYBRID from scratch (round 2 with bookkeeping —
@@ -262,12 +408,10 @@ class IncrementalDetector:
         self.state: IncrementalState | None = None
         self._shared_items_cache: tuple[Dataset, dict] | None = None
 
-    def _shared_items(self, dataset: Dataset):
-        """Per-dataset shared-item counts (see :func:`_cached_shared_items`)."""
-        self._shared_items_cache = _cached_shared_items(
-            self._shared_items_cache, dataset, self.params
-        )
-        return self._shared_items_cache[1]
+    @property
+    def wants_workspace(self) -> bool:
+        """Whether a fusion workspace would pay off for this detector."""
+        return self.params.backend == "numpy"
 
     def run_round(
         self,

@@ -94,6 +94,7 @@ class InvertedIndex:
         self.shared_items = shared_items
         self.items_per_source = items_per_source
         self.suffix_max = self._compute_suffix_max(entries)
+        self._columnar_cache = None
 
     @staticmethod
     def _compute_suffix_max(entries: Sequence[IndexEntry]) -> list[float]:
@@ -230,6 +231,35 @@ class InvertedIndex:
                 max_score(probabilities[entry.value_id], provider_accuracies, params)
             )
         return scores
+
+    # ------------------------------------------------------------------
+    # Columnar view (numpy backend)
+    # ------------------------------------------------------------------
+    def columnar_entries(self):
+        """The entries as :class:`~repro.core.kernel.ColumnarEntries`.
+
+        Built lazily and cached for the index's lifetime: the entry list
+        is frozen after construction (INCREMENTAL's ``rescore`` returns
+        fresh scores without touching it), while the numpy scans and the
+        parallel engine each used to re-columnarize on every ``detect()``
+        call — recomputed every fusion round.  Imports NumPy only when
+        first called, keeping :mod:`repro.core` import-light.
+        """
+        if self._columnar_cache is None:
+            from .kernel import ColumnarEntries
+
+            self._columnar_cache = ColumnarEntries.from_index(self)
+        return self._columnar_cache
+
+    def set_columnar_entries(self, cols) -> None:
+        """Pre-seed the columnar cache.
+
+        The round-persistent :class:`~repro.fusion.FusionWorkspace`
+        assembles the columnar view from its frozen provider skeleton
+        (a vectorized gather instead of the per-entry Python loops in
+        ``ColumnarEntries.from_index``) and hands it to the index here.
+        """
+        self._columnar_cache = cols
 
     # ------------------------------------------------------------------
     # Introspection

@@ -158,10 +158,10 @@ def _detect_index_numpy(
     is processed last, so a pair is "already opened" at a tail entry
     exactly when some non-tail entry contains it.
     """
-    from .kernel import ColumnarEntries, decide_pairs, scan_columnar
+    from .kernel import decide_pairs, scan_columnar
 
     n_sources = dataset.n_sources
-    cols = ColumnarEntries.from_index(index)
+    cols = index.columnar_entries()
     table = scan_columnar(cols, accuracies, params, n_sources)
     decisions = decide_pairs(table, index.shared_items, params, require_main=True)
     # Mirror the Python scan's accounting: incidences of never-opened

@@ -19,6 +19,7 @@ from .voting import vote, vote_probabilities
 __all__ = [
     "FusionConfig",
     "FusionResult",
+    "FusionWorkspace",
     "RoundDetector",
     "RoundRecord",
     "accuracy_score",
@@ -30,3 +31,17 @@ __all__ = [
     "vote",
     "vote_probabilities",
 ]
+
+
+def __getattr__(name: str):
+    """Lazy re-exports that would otherwise import NumPy eagerly.
+
+    ``import repro`` (and therefore ``repro.fusion``) must stay
+    NumPy-free until a numpy backend is actually requested — the same
+    discipline :mod:`repro.core` follows for its kernels.
+    """
+    if name == "FusionWorkspace":
+        from .workspace import FusionWorkspace
+
+        return FusionWorkspace
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

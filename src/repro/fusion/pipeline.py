@@ -19,12 +19,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import TYPE_CHECKING, Protocol, Sequence
 
-from ..core.params import CopyParams
+from ..core.params import BACKENDS, CopyParams
 from ..core.result import DetectionResult
 from ..data import Dataset
 from .accu import choose_values, update_accuracies, value_probabilities
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .workspace import FusionWorkspace
 
 
 class RoundDetector(Protocol):
@@ -115,11 +118,20 @@ class FusionResult:
         return None
 
 
+def _as_float_list(values) -> list[float]:
+    """Materialise a probability/accuracy vector as a plain float list."""
+    if hasattr(values, "tolist"):
+        return values.tolist()
+    return list(values)
+
+
 def run_fusion(
     dataset: Dataset,
     params: CopyParams,
     detector: RoundDetector | None = None,
     config: FusionConfig | None = None,
+    workspace: "FusionWorkspace | None" = None,
+    fusion_backend: str | None = None,
 ) -> FusionResult:
     """Run the iterative copy-detection + truth-finding loop to convergence.
 
@@ -129,55 +141,127 @@ def run_fusion(
         detector: per-round copy detector; ``None`` runs plain ACCU
             (accuracy-aware fusion that ignores copying).
         config: loop configuration.
+        workspace: a :class:`~repro.fusion.FusionWorkspace` carrying the
+            round-invariant state (shared-item counts, columnar layouts,
+            persistent pools, the shared-memory broadcast).  One is
+            created — and closed on the way out, detector exceptions
+            included — when omitted and needed; pass an open workspace
+            to amortise its setup across several fusion runs (the caller
+            keeps ownership and closes it).
+        fusion_backend: backend for the ACCU/ACCUCOPY updates
+            themselves; defaults to ``params.backend``.  ``"numpy"``
+            runs the vectorized kernel (:mod:`repro.fusion.accu_kernel`,
+            1e-9-equivalent to the reference); ``"python"`` keeps the
+            reference loops — e.g. to isolate detection-backend effects
+            while fusing bit-identically.
 
     Returns:
         The converged :class:`FusionResult`.
+
+    Raises:
+        ValueError: for an unknown ``fusion_backend``, or a ``workspace``
+            built for a different dataset.
     """
     cfg = config or FusionConfig()
-    accuracies = [cfg.initial_accuracy] * dataset.n_sources
-    probabilities = value_probabilities(dataset, accuracies, params)
-    rounds: list[RoundRecord] = []
-    converged = False
-
-    for round_no in range(1, cfg.max_rounds + 1):
-        detection = None
-        detection_seconds = 0.0
-        if detector is not None:
-            start = time.perf_counter()
-            detection = detector.run_round(
-                round_no, dataset, probabilities, accuracies
-            )
-            detection_seconds = time.perf_counter() - start
-
-        start = time.perf_counter()
-        probabilities = value_probabilities(
-            dataset, accuracies, params, detection=detection
+    backend = params.backend if fusion_backend is None else fusion_backend
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"fusion_backend must be one of {BACKENDS}, got {backend!r}"
         )
-        new_accuracies = update_accuracies(dataset, probabilities, params)
-        fusion_seconds = time.perf_counter() - start
+    if workspace is not None and workspace.dataset is not dataset:
+        raise ValueError("the workspace was built for a different dataset")
+    if workspace is not None and workspace.closed:
+        raise ValueError("the workspace is closed")
 
-        change = max(
-            (abs(new - old) for new, old in zip(new_accuracies, accuracies)),
-            default=0.0,
-        )
-        accuracies = new_accuracies
-        rounds.append(
-            RoundRecord(
-                round_no=round_no,
-                detection=detection,
-                accuracy_change=change,
-                detection_seconds=detection_seconds,
-                fusion_seconds=fusion_seconds,
-            )
-        )
-        if round_no >= cfg.min_rounds and change < cfg.tolerance:
-            converged = True
-            break
+    owns_workspace = False
+    if workspace is None and (
+        backend == "numpy"
+        or (detector is not None and getattr(detector, "wants_workspace", False))
+    ):
+        from .workspace import FusionWorkspace
 
-    return FusionResult(
-        probabilities=probabilities,
-        accuracies=accuracies,
-        chosen=choose_values(dataset, probabilities),
-        rounds=rounds,
-        converged=converged,
+        workspace = FusionWorkspace(dataset, params)
+        owns_workspace = True
+
+    if backend == "numpy":
+        from .accu_kernel import (
+            update_accuracies_columnar,
+            value_probabilities_columnar,
+        )
+
+        cols = workspace.fusion_columns
+
+        def _value_probs(accs, detection=None):
+            return value_probabilities_columnar(cols, accs, params, detection)
+
+        def _update_accs(probs):
+            return update_accuracies_columnar(cols, probs, params)
+
+    else:
+
+        def _value_probs(accs, detection=None):
+            return value_probabilities(dataset, accs, params, detection=detection)
+
+        def _update_accs(probs):
+            return update_accuracies(dataset, probs, params)
+
+    detector_bound = (
+        detector is not None
+        and workspace is not None
+        and hasattr(detector, "bind_workspace")
     )
+    try:
+        if detector_bound:
+            detector.bind_workspace(workspace)
+        accuracies = [cfg.initial_accuracy] * dataset.n_sources
+        probabilities = _value_probs(accuracies)
+        rounds: list[RoundRecord] = []
+        converged = False
+
+        for round_no in range(1, cfg.max_rounds + 1):
+            detection = None
+            detection_seconds = 0.0
+            if detector is not None:
+                start = time.perf_counter()
+                detection = detector.run_round(
+                    round_no, dataset, probabilities, accuracies
+                )
+                detection_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            probabilities = _value_probs(accuracies, detection=detection)
+            new_accuracies = _update_accs(probabilities)
+            fusion_seconds = time.perf_counter() - start
+
+            change = max(
+                (abs(new - old) for new, old in zip(new_accuracies, accuracies)),
+                default=0.0,
+            )
+            accuracies = new_accuracies
+            rounds.append(
+                RoundRecord(
+                    round_no=round_no,
+                    detection=detection,
+                    accuracy_change=change,
+                    detection_seconds=detection_seconds,
+                    fusion_seconds=fusion_seconds,
+                )
+            )
+            if round_no >= cfg.min_rounds and change < cfg.tolerance:
+                converged = True
+                break
+
+        return FusionResult(
+            probabilities=_as_float_list(probabilities),
+            accuracies=_as_float_list(accuracies),
+            chosen=choose_values(dataset, probabilities),
+            rounds=rounds,
+            converged=converged,
+        )
+    finally:
+        # Detectors outlive fusion runs; never leave one holding a
+        # workspace we are about to close (or that the caller may close).
+        if detector_bound:
+            detector.bind_workspace(None)
+        if owns_workspace:
+            workspace.close()

@@ -1,0 +1,236 @@
+"""Round-persistent workspace for the iterative fusion loop.
+
+Every fusion round used to pay the full per-round setup bill: the
+shared-item counts were recounted (or re-fetched from per-detector
+caches), the index entries were re-columnarized with per-entry Python
+loops, the parallel engine allocated a fresh shared-memory block and
+spun up — then tore down — a fresh process pool.  None of that state
+actually changes across rounds: the claims are static, so the provider
+structure, the shared-item counts and the columnar claim layout are
+round-invariant; only probabilities and accuracies move.
+
+:class:`FusionWorkspace` freezes the invariant parts once and reuses
+them for every round of a :func:`~repro.fusion.run_fusion` call:
+
+* ``shared_items`` — the ``l(S1, S2)`` counts, computed once with the
+  backend-appropriate counter.
+* ``fusion_columns`` — the :class:`~repro.fusion.accu_kernel.FusionColumns`
+  claim layout driving the vectorized ACCU/ACCUCOPY updates.
+* an **entry skeleton** — the provider CSR of every multi-provider value
+  in canonical (value-id) order.  :meth:`columnar_for_index` assembles a
+  round's :class:`~repro.core.kernel.ColumnarEntries` from it with one
+  vectorized gather in index processing order, replacing the per-entry
+  Python loops of ``ColumnarEntries.from_index``.
+* a **persistent executor pool** per kind (threads / processes), created
+  on first use and reused across rounds; worker processes keep their
+  per-process shared-memory attachment caches warm.
+* a **persistent shared-memory block**: each round re-broadcasts only
+  probabilities, main/tail flags and accuracies by rewriting the block
+  in place (:meth:`~repro.parallel.shm.SharedWorld.write`), so workers
+  never re-attach and the block is created — and unlinked — exactly
+  once.
+
+Lifecycle: the workspace is a context manager.  ``run_fusion`` creates
+one internally when none is passed and closes it on the way out —
+**including on detector exceptions** — while an explicitly passed
+workspace stays open for the caller to reuse (and close) across several
+fusion runs.  :meth:`close` is idempotent: pools are shut down and the
+shared block is unlinked at most once.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.params import CopyParams
+from ..data import Dataset
+from ..parallel.engine import _pool_workers
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.index import InvertedIndex
+    from ..core.kernel import ColumnarEntries
+    from ..parallel.shm import SharedWorld
+    from .accu_kernel import FusionColumns
+
+
+class FusionWorkspace:
+    """Frozen cross-round state of one dataset's fusion run.
+
+    Args:
+        dataset: the claims (static across rounds).
+        params: model parameters; ``params.backend`` routes the
+            shared-item counter (the counts themselves are identical
+            either way).
+    """
+
+    def __init__(self, dataset: Dataset, params: CopyParams):
+        self.dataset = dataset
+        self.params = params
+        self.closed = False
+        self._shared_items = None
+        self._fusion_columns: "FusionColumns" | None = None
+        self._skeleton: "ColumnarEntries" | None = None
+        self._value_row = None
+        self._pools: dict[str, Executor] = {}
+        self._world: "SharedWorld" | None = None
+
+    # ------------------------------------------------------------------
+    # Static structure caches
+    # ------------------------------------------------------------------
+    @property
+    def shared_items(self):
+        """``l(S1, S2)`` counts, computed once (claims never change)."""
+        if self._shared_items is None:
+            if self.params.backend == "numpy":
+                from ..core.kernel import count_shared_items_columnar as count
+            else:
+                from ..simjoin import count_shared_items as count
+
+            self._shared_items = count(self.dataset)
+        return self._shared_items
+
+    @property
+    def fusion_columns(self) -> "FusionColumns":
+        """Columnar claim layout for the vectorized ACCU/ACCUCOPY math."""
+        if self._fusion_columns is None:
+            from .accu_kernel import FusionColumns
+
+            self._fusion_columns = FusionColumns.from_dataset(self.dataset)
+        return self._fusion_columns
+
+    def _entry_skeleton(self):
+        """Provider CSR of every multi-provider value, value-id order.
+
+        Returns ``(skeleton, value_row)``: a :class:`ColumnarEntries`
+        whose per-entry probabilities/main flags are placeholders, plus
+        the value-id -> skeleton-row map (-1 for single-provider values,
+        which never enter an index).
+        """
+        if self._skeleton is None:
+            import numpy as np
+
+            from ..core.kernel import ColumnarEntries
+
+            fc = self.fusion_columns
+            rows = np.nonzero(np.diff(fc.prov_offsets) >= 2)[0]
+            # View every value's provider CSR as a columnar block and let
+            # the kernel's tested gather slice out the multi-provider rows.
+            all_values = ColumnarEntries(
+                probs=np.zeros(fc.n_values),
+                main=np.ones(fc.n_values, dtype=bool),
+                offsets=fc.prov_offsets,
+                providers=fc.prov_sources,
+            )
+            self._skeleton = all_values.take(rows)
+            value_row = np.full(fc.n_values, -1, dtype=np.int64)
+            value_row[rows] = np.arange(len(rows), dtype=np.int64)
+            self._value_row = value_row
+        return self._skeleton, self._value_row
+
+    def columnar_for_index(self, index: "InvertedIndex") -> "ColumnarEntries":
+        """Assemble a round's columnar entries from the frozen skeleton.
+
+        Produces exactly what ``ColumnarEntries.from_index(index)``
+        would — entries in processing order, this round's probabilities,
+        this round's tail split — but the provider gather is one
+        vectorized ``take`` over the skeleton instead of per-entry
+        Python loops; only the O(entries) probability/value-id reads
+        remain at Python level.
+        """
+        import numpy as np
+
+        skeleton, value_row = self._entry_skeleton()
+        entries = index.entries
+        n_entries = len(entries)
+        values = np.fromiter(
+            (entry.value_id for entry in entries), dtype=np.int64, count=n_entries
+        )
+        cols = skeleton.take(value_row[values])
+        cols.probs = np.fromiter(
+            (entry.probability for entry in entries),
+            dtype=np.float64,
+            count=n_entries,
+        )
+        cols.main = np.arange(n_entries, dtype=np.int64) < index.tail_start
+        return cols
+
+    # ------------------------------------------------------------------
+    # Persistent executors + shared-memory broadcast
+    # ------------------------------------------------------------------
+    def pool(self, executor: str, n_tasks: int = 0) -> Executor | None:
+        """The persistent pool for an executor kind (None for serial).
+
+        Created on first use and reused by every subsequent round until
+        :meth:`close`.  Always sized to the core count (both pool kinds
+        start workers lazily, on demand), never to the first caller's
+        task count — a later run with more partitions must not be capped
+        by an earlier, narrower one.
+        """
+        if self.closed:
+            raise RuntimeError("the fusion workspace is closed")
+        if executor == "serial":
+            return None
+        pool = self._pools.get(executor)
+        if pool is None:
+            workers = _pool_workers(os.cpu_count() or 1)
+            if executor == "threads":
+                pool = ThreadPoolExecutor(max_workers=workers)
+            elif executor == "processes":
+                pool = ProcessPoolExecutor(max_workers=workers)
+            else:
+                raise ValueError(f"unknown executor {executor!r}")
+            self._pools[executor] = pool
+        return pool
+
+    def broadcast(
+        self,
+        cols: "ColumnarEntries",
+        accuracies: Sequence[float],
+        n_sources: int,
+    ) -> "SharedWorld":
+        """The persistent shared-memory world, freshened for this round.
+
+        The first call creates the block; later calls rewrite it in
+        place (same name, same layout — workers keep their cached
+        attachments).  A layout change (impossible within one fusion
+        run, where the entry set is frozen) falls back to a fresh block.
+
+        Raises:
+            OSError: when shared memory is unavailable (callers fall
+                back to pickled payloads, exactly as without a
+                workspace).
+        """
+        if self.closed:
+            raise RuntimeError("the fusion workspace is closed")
+        from ..parallel.shm import SharedWorld
+
+        if self._world is not None and self._world.write(cols, accuracies):
+            return self._world
+        if self._world is not None:
+            self._world.close()
+            self._world = None
+        self._world = SharedWorld.create(cols, accuracies, n_sources)
+        return self._world
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down pools and unlink the shared block (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        for pool in self._pools.values():
+            pool.shutdown(wait=True)
+        self._pools.clear()
+        if self._world is not None:
+            self._world.close()
+            self._world = None
+
+    def __enter__(self) -> "FusionWorkspace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -140,11 +140,14 @@ def _pool_workers(n_tasks: int) -> int:
     return max(1, min(n_tasks, os.cpu_count() or 1))
 
 
-def _run_map(worker, payloads, executor: Executor, *extra):
+def _run_map(worker, payloads, executor: Executor, *extra, pool=None):
     """Run ``worker(payload, *extra)`` per payload under the executor.
 
     ``worker`` must be a top-level (picklable) function so the same
-    dispatch serves thread and process pools.
+    dispatch serves thread and process pools.  When ``pool`` is given
+    (a :class:`FusionWorkspace`'s persistent executor) the tasks run on
+    it and it is *not* shut down here — the workspace owns its
+    lifetime; otherwise a throwaway pool is created per call.
     """
     if not payloads:
         # Every partition was empty (a world with no shared values):
@@ -152,6 +155,9 @@ def _run_map(worker, payloads, executor: Executor, *extra):
         return []
     if executor == "serial" or len(payloads) == 1:
         return [worker(pl, *extra) for pl in payloads]
+    if pool is not None:
+        futures = [pool.submit(worker, pl, *extra) for pl in payloads]
+        return [f.result() for f in futures]
     if executor == "threads":
         with ThreadPoolExecutor(max_workers=_pool_workers(len(payloads))) as pool:
             return list(pool.map(lambda pl: worker(pl, *extra), payloads))
@@ -243,20 +249,39 @@ def _map_columnar_shm(
     accuracies: Sequence[float],
     params: CopyParams,
     n_sources: int,
+    workspace=None,
 ):
     """Scan partitions in a process pool over one broadcast world.
 
-    Returns None when shared memory is unavailable (the caller falls
-    back to pickled per-partition payloads).
+    With a :class:`~repro.fusion.FusionWorkspace` attached, the pool and
+    the shared block persist across fusion rounds: the block is merely
+    rewritten in place each round and workers keep their cached
+    attachments.  Returns None when shared memory is unavailable (the
+    caller falls back to pickled per-partition payloads).
     """
     try:
         import numpy as np
 
-        from ..core.kernel import ColumnarEntries
         from .shm import SharedWorld, scan_shm_partition
     except ImportError:  # pragma: no cover - numpy is a declared dep
         return None
-    cols = ColumnarEntries.from_index(index)
+    cols = index.columnar_entries()
+    if workspace is not None:
+        try:
+            world = workspace.broadcast(cols, list(accuracies), n_sources)
+        except OSError:
+            return None
+        pool = workspace.pool("processes", len(parts))
+        futures = [
+            pool.submit(
+                scan_shm_partition,
+                world.handle,
+                np.asarray(part.positions, dtype=np.int64),
+                params,
+            )
+            for part in parts
+        ]
+        return [f.result() for f in futures]
     try:
         world = SharedWorld.create(cols, list(accuracies), n_sources)
     except OSError:
@@ -286,6 +311,7 @@ def _map_columnar(
     params: CopyParams,
     n_sources: int,
     executor: Executor,
+    workspace=None,
 ):
     """Map step over columnar payloads: one :class:`PairTable` per share.
 
@@ -293,18 +319,29 @@ def _map_columnar(
     shared memory; ``"serial"``/``"threads"`` share the parent's address
     space already, and platforms without shm fall back to pickled
     payloads — all three paths run the identical ``scan_columnar`` over
-    identical arrays, so the choice never affects results.
+    identical arrays, so the choice never affects results.  A workspace
+    supplies persistent pools (and the persistent broadcast block) that
+    survive across fusion rounds.
     """
-    from ..core.kernel import ColumnarEntries, scan_columnar
+    from ..core.kernel import scan_columnar
 
     parts = [part for part in partitions if part.positions]
     if executor == "processes" and len(parts) > 1:
-        tables = _map_columnar_shm(index, parts, accuracies, params, n_sources)
+        tables = _map_columnar_shm(
+            index, parts, accuracies, params, n_sources, workspace=workspace
+        )
         if tables is not None:
             return tables
-    payloads = [ColumnarEntries.from_index(index, part.positions) for part in parts]
+    cols = index.columnar_entries()
+    payloads = [cols.take(part.positions) for part in parts]
+    pool = (
+        workspace.pool(executor, len(parts))
+        if workspace is not None and executor != "serial"
+        else None
+    )
     return _run_map(
-        scan_columnar, payloads, executor, list(accuracies), params, n_sources
+        scan_columnar, payloads, executor, list(accuracies), params, n_sources,
+        pool=pool,
     )
 
 
@@ -336,6 +373,7 @@ def detect_index_parallel(
     index: InvertedIndex | None = None,
     backend: str | None = None,
     reduce: ReduceMode = "flat",
+    workspace=None,
 ) -> DetectionResult:
     """INDEX over a partitioned scan; verdicts identical to sequential.
 
@@ -355,6 +393,9 @@ def detect_index_parallel(
             defaults to ``params.backend``.
         reduce: ``"flat"`` (single-pass merge) or ``"tree"`` (pairwise,
             O(log P) depth).
+        workspace: a :class:`~repro.fusion.FusionWorkspace` supplying
+            persistent pools and the persistent shared-memory broadcast
+            when the engine runs once per fusion round.
 
     Raises:
         ValueError: for an unknown executor, backend, strategy or reduce
@@ -366,11 +407,17 @@ def detect_index_parallel(
     partitions = partition_entries(index, n_partitions, strategy)
     if backend == "numpy":
         return _detect_parallel_numpy(
-            index, accuracies, params, partitions, executor, dataset.n_sources, reduce
+            index, accuracies, params, partitions, executor, dataset.n_sources,
+            reduce, workspace,
         )
     payloads = [_payload(index, part) for part in partitions]
+    pool = (
+        workspace.pool(executor, len(payloads))
+        if workspace is not None and executor != "serial"
+        else None
+    )
     partials = _run_map(
-        _scan_partition, payloads, executor, list(accuracies), params
+        _scan_partition, payloads, executor, list(accuracies), params, pool=pool
     )
     return _reduce(partials, index, dataset.n_sources, params, reduce)
 
@@ -383,12 +430,14 @@ def _detect_parallel_numpy(
     executor: Executor,
     n_sources: int,
     reduce_mode: ReduceMode,
+    workspace=None,
 ) -> DetectionResult:
     """Map/reduce over columnar payloads via the vectorized kernel."""
     from ..core.kernel import decide_pairs
 
     tables = _map_columnar(
-        index, partitions, accuracies, params, n_sources, executor
+        index, partitions, accuracies, params, n_sources, executor,
+        workspace=workspace,
     )
     merged = _merge_tables(tables, reduce_mode)
     cost = CostCounter()
@@ -462,6 +511,7 @@ def detect_hybrid_parallel(
     epoch_size: int | None = None,
     reduce: ReduceMode = "flat",
     partition_by: str = "entries",
+    workspace=None,
 ) -> DetectionResult:
     """HYBRID over the strong-evidence prefix, INDEX map/reduce after it.
 
@@ -541,7 +591,8 @@ def detect_hybrid_parallel(
     if suffix_parts:
         if backend == "numpy":
             tables = _map_columnar(
-                index, suffix_parts, accuracies, params, dataset.n_sources, executor
+                index, suffix_parts, accuracies, params, dataset.n_sources,
+                executor, workspace=workspace,
             )
             table = _merge_tables(tables, reduce)
             if table is not None:
@@ -555,8 +606,14 @@ def detect_hybrid_parallel(
                     merged[pair] = [c_fwd, c_bwd, float(n_shared), float(saw_main)]
         else:
             payloads = [_payload(index, part) for part in suffix_parts]
+            pool = (
+                workspace.pool(executor, len(payloads))
+                if workspace is not None and executor != "serial"
+                else None
+            )
             partials = _run_map(
-                _scan_partition, payloads, executor, list(accuracies), params
+                _scan_partition, payloads, executor, list(accuracies), params,
+                pool=pool,
             )
             merged = _merge_partials(partials, reduce)
 

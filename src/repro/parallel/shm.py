@@ -132,6 +132,20 @@ class SharedWorld:
         self._block = block
         self.handle = handle
 
+    @staticmethod
+    def _pack(
+        cols: "ColumnarEntries", accuracies: Sequence[float] | np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """The contiguous arrays a broadcast block carries, in pack order."""
+        return {
+            "probs": np.ascontiguousarray(cols.probs, dtype=np.float64),
+            # bool stored as uint8 for a stable cross-process dtype token.
+            "main": np.ascontiguousarray(cols.main, dtype=np.uint8),
+            "offsets": np.ascontiguousarray(cols.offsets, dtype=np.int64),
+            "providers": np.ascontiguousarray(cols.providers, dtype=np.int64),
+            "accuracies": np.ascontiguousarray(accuracies, dtype=np.float64),
+        }
+
     @classmethod
     def create(
         cls,
@@ -147,14 +161,7 @@ class SharedWorld:
         """
         from multiprocessing import shared_memory
 
-        arrays = {
-            "probs": np.ascontiguousarray(cols.probs, dtype=np.float64),
-            # bool stored as uint8 for a stable cross-process dtype token.
-            "main": np.ascontiguousarray(cols.main, dtype=np.uint8),
-            "offsets": np.ascontiguousarray(cols.offsets, dtype=np.int64),
-            "providers": np.ascontiguousarray(cols.providers, dtype=np.int64),
-            "accuracies": np.ascontiguousarray(accuracies, dtype=np.float64),
-        }
+        arrays = cls._pack(cols, accuracies)
         fields = []
         offset = 0
         for field, arr in arrays.items():
@@ -172,6 +179,44 @@ class SharedWorld:
             name=block.name, fields=tuple(fields), n_sources=n_sources
         )
         return cls(block, handle)
+
+    def write(
+        self,
+        cols: "ColumnarEntries",
+        accuracies: Sequence[float] | np.ndarray,
+    ) -> bool:
+        """Rewrite the packed arrays in place (the round-reuse fast path).
+
+        A fusion round re-broadcasts fresh probabilities, main/tail flags
+        and accuracies — and a (re-ordered) view of the same frozen
+        provider structure, so every field keeps its length.  Rewriting
+        the buffer under the *same* block name means worker processes
+        keep their cached zero-copy attachments (:func:`attached_world`)
+        and the persistent pool never re-attaches; callers must only do
+        this between rounds, when no task is in flight.
+
+        Returns:
+            True after a successful in-place rewrite; False when the
+            block is already closed or any array length changed (the
+            caller creates a fresh block instead).
+        """
+        if self._block is None:
+            return False
+        arrays = self._pack(cols, accuracies)
+        if tuple(
+            (field, arr.dtype.str, len(arr)) for field, arr in arrays.items()
+        ) != tuple(
+            (field, dtype, length) for field, dtype, _, length in self.handle.fields
+        ):
+            return False
+        for (_, dtype, start, length), arr in zip(
+            self.handle.fields, arrays.values()
+        ):
+            view = np.ndarray(
+                (length,), dtype=np.dtype(dtype), buffer=self._block.buf, offset=start
+            )
+            view[:] = arr
+        return True
 
     def close(self) -> None:
         """Release and unlink the block (idempotent)."""

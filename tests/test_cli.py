@@ -135,7 +135,101 @@ class TestDetectParallel:
             main(["detect", claims, "--reduce", "sum"])
 
 
+class TestFuseParallel:
+    """--n-partitions/--executor/--reduce/--partition-by on fuse."""
+
+    def _stable_lines(self, text):
+        """Output lines unaffected by timing (pairs, accuracy, truths)."""
+        return [
+            line
+            for line in text.splitlines()
+            if line.startswith(("copying pairs", "fusion accuracy"))
+            or line.count("|") >= 2
+        ]
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @pytest.mark.parametrize("reduce", ["flat", "tree"])
+    def test_index_round_trip(self, dataset_dir, capsys, backend, reduce):
+        if backend == "numpy":
+            pytest.importorskip("numpy")
+        claims = str(dataset_dir / "claims.csv")
+        gold = str(dataset_dir / "gold.csv")
+        base = ["fuse", claims, "--gold", gold, "--method", "index",
+                "--backend", backend, "--truths", "5"]
+        code = main(
+            base + ["--n-partitions", "3", "--reduce", reduce,
+                    "--partition-by", "work", "--executor", "threads"]
+        )
+        assert code == 0
+        parallel_out = capsys.readouterr().out
+        assert main(base) == 0
+        sequential_out = capsys.readouterr().out
+        assert self._stable_lines(parallel_out) == self._stable_lines(
+            sequential_out
+        )
+
+    def test_hybrid_processes_round_trip(self, dataset_dir, capsys):
+        """fuse on a real process pool (persistent across rounds)."""
+        pytest.importorskip("numpy")
+        claims = str(dataset_dir / "claims.csv")
+        base = ["fuse", claims, "--method", "hybrid", "--backend", "numpy"]
+        code = main(
+            base + ["--n-partitions", "4", "--executor", "processes",
+                    "--reduce", "tree"]
+        )
+        assert code == 0
+        parallel_out = capsys.readouterr().out
+        assert main(base) == 0
+        sequential_out = capsys.readouterr().out
+        assert self._stable_lines(parallel_out) == self._stable_lines(
+            sequential_out
+        )
+
+    @pytest.mark.parametrize("method", ["incremental", "none", "pairwise"])
+    def test_partitioning_rejected_for_non_parallel_methods(
+        self, dataset_dir, method
+    ):
+        claims = str(dataset_dir / "claims.csv")
+        with pytest.raises(SystemExit):
+            main(["fuse", claims, "--method", method, "--n-partitions", "2"])
+
+    def test_bad_reduce_rejected(self, dataset_dir):
+        claims = str(dataset_dir / "claims.csv")
+        with pytest.raises(SystemExit):
+            main(["fuse", claims, "--reduce", "sum"])
+
+    def test_executor_without_partitions_rejected(self, dataset_dir):
+        """A pool request with a single partition would silently run
+        sequentially; fuse refuses instead."""
+        claims = str(dataset_dir / "claims.csv")
+        with pytest.raises(SystemExit):
+            main(["fuse", claims, "--method", "index", "--executor", "processes"])
+
+
 class TestFuse:
+    def test_numpy_fusion_backend_matches_python(self, dataset_dir, capsys):
+        """--backend numpy routes the ACCU/ACCUCOPY updates through the
+        columnar kernel; fused truths and verdicts match the reference."""
+        pytest.importorskip("numpy")
+        claims = str(dataset_dir / "claims.csv")
+        gold = str(dataset_dir / "gold.csv")
+        base = ["fuse", claims, "--gold", gold, "--method", "incremental",
+                "--truths", "5"]
+        assert main(base + ["--backend", "numpy"]) == 0
+        numpy_out = capsys.readouterr().out
+        assert main(base) == 0
+        python_out = capsys.readouterr().out
+
+        def stable(text):
+            return [
+                line
+                for line in text.splitlines()
+                if line.startswith(("copying pairs", "fusion accuracy"))
+                or line.count("|") >= 2
+            ]
+
+        assert stable(numpy_out) == stable(python_out)
+
     def test_incremental_with_gold(self, dataset_dir, capsys):
         code = main(
             [
