@@ -8,6 +8,10 @@ Subcommands:
 * ``fuse`` — full iterative fusion with a chosen detector; prints the
   fused truths, final accuracies, and detected copying.
 * ``stats`` — Table V-style statistics of a claims file.
+* ``conformance`` — the differential grid fuzzer: sweep the
+  (method x backend x executor x reduce x partition x fusion) grid
+  against the pure-Python reference, persist divergent worlds into the
+  regression corpus, and emit a machine-readable report.
 """
 
 from __future__ import annotations
@@ -41,10 +45,11 @@ def _add_params(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
         choices=list(BACKENDS),
-        default="python",
-        help="scoring backend: 'python' (reference loops) or 'numpy' "
-        "(vectorized kernel for pairwise/index, epoch-batched scan for "
-        "bound/bound+/hybrid; identical verdicts, much faster)",
+        default="numpy",
+        help="scoring backend: 'numpy' (default — vectorized kernel for "
+        "pairwise/index, epoch-batched scan for bound/bound+/hybrid; "
+        "identical verdicts, much faster) or 'python' (the paper-literal "
+        "reference loops)",
     )
     parser.add_argument(
         "--epoch-size",
@@ -282,6 +287,67 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    import json
+
+    from .conformance import run_grid
+
+    grid = "smoke" if args.smoke else args.grid
+    n_cases = args.cases
+    if n_cases is None:
+        n_cases = 240 if grid == "smoke" else 2000
+    report = run_grid(
+        grid=grid,
+        n_cases=n_cases,
+        seed=args.seed,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+        progress=lambda message: print(f"  ! {message}", flush=True),
+    )
+    rows = [
+        [
+            config.label,
+            config.contract,
+            report.cases_per_config.get(config.label, 0),
+            sum(
+                1
+                for d in report.divergences
+                if d.config.label == config.label
+            ),
+        ]
+        for config in report.configs
+    ]
+    print(
+        render_table(
+            f"Conformance grid '{grid}' — {report.n_cases} cases, "
+            f"seed {report.seed}, {report.elapsed_seconds:.1f}s",
+            ["configuration", "contract", "cases", "divergences"],
+            rows,
+        )
+    )
+    if args.report:
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report.to_json(), indent=1) + "\n")
+        print(f"report -> {path}")
+    if report.ok:
+        print("OK: zero divergences")
+        return 0
+    print(f"FAIL: {len(report.divergences)} divergence(s)")
+    for divergence in report.divergences:
+        print(
+            f"  case {divergence.case_index} [{divergence.config.label}] "
+            f"{divergence.world.kind} world "
+            f"({divergence.world.n_sources} sources, "
+            f"{divergence.world.n_claims} claims)"
+        )
+        for detail in divergence.details[:3]:
+            print(f"    {detail}")
+        if divergence.corpus_path:
+            print(f"    fixture -> {divergence.corpus_path}")
+    return 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .eval import run_suite
 
@@ -361,6 +427,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--sample-fraction", type=float, default=0.1)
     _add_params(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_conf = sub.add_parser(
+        "conformance",
+        help="differential grid fuzzing of every backend/executor "
+        "configuration against the pure-Python reference",
+    )
+    p_conf.add_argument(
+        "--grid",
+        # Keep in sync with repro.conformance.engine.GRIDS — hardcoded
+        # so building the parser never imports the conformance engine
+        # (every other subcommand would pay that startup cost).
+        choices=["full", "smoke"],
+        default="full",
+        help="configuration grid: 'smoke' (PR-time) or 'full' (nightly)",
+    )
+    p_conf.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shorthand for --grid smoke (with the smoke default of "
+        "240 cases)",
+    )
+    p_conf.add_argument(
+        "--cases",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total (world, configuration) cases to run "
+        "(default: 240 smoke / 2000 full)",
+    )
+    p_conf.add_argument(
+        "--seed", type=int, default=7, help="world-stream seed (replayable)"
+    )
+    p_conf.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="directory to write shrunk divergence fixtures into "
+        "(e.g. tests/data/corpus; omitted = don't persist)",
+    )
+    p_conf.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable JSON report here",
+    )
+    p_conf.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip world minimisation on divergence (faster triage)",
+    )
+    p_conf.set_defaults(func=_cmd_conformance)
     return parser
 
 

@@ -55,24 +55,28 @@ class CopyParams:
             ``[accuracy_clamp, 1 - accuracy_clamp]`` before any log/ratio
             computation so that scores stay finite (sources with accuracy
             exactly 0 or 1 would otherwise produce infinities).
-        backend: score-accumulation backend.  ``"python"`` (default)
-            runs the pure-Python reference loops; ``"numpy"`` routes
-            PAIRWISE, INDEX and the parallel engine through the
-            vectorized kernel (:mod:`repro.core.kernel`), which agrees
-            with the reference to within float re-association error
-            (property-tested at 1e-9), and the early-terminating
-            BOUND/BOUND+/HYBRID scans through the epoch-batched
-            implementation (:mod:`repro.core.bound_kernel`), which is
-            *bit-identical* to the reference — decisions, decision
-            positions, cost counters and INCREMENTAL bookkeeping
-            included.
+        backend: score-accumulation backend.  ``"numpy"`` (the default
+            since the conformance soak completed) routes PAIRWISE,
+            INDEX and the parallel engine through the vectorized kernel
+            (:mod:`repro.core.kernel`), which agrees with the reference
+            to within float re-association error (property-tested at
+            1e-9), and the early-terminating BOUND/BOUND+/HYBRID scans
+            through the epoch-batched implementation
+            (:mod:`repro.core.bound_kernel`), which is *bit-identical*
+            to the reference — decisions, decision positions, cost
+            counters and INCREMENTAL bookkeeping included.
+            ``"python"`` selects the pure-Python reference loops — the
+            paper-literal implementation that stays the conformance
+            anchor forever (``repro conformance`` diffs every
+            configuration against it; the golden fixtures pin it
+            byte-for-byte).
     """
 
     alpha: float = 0.1
     s: float = 0.8
     n: int = 50
     accuracy_clamp: float = 0.005
-    backend: str = "python"
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha < 0.5:

@@ -1,186 +1,34 @@
 """Hypothesis strategies shared across property-based tests.
 
-``small_world()`` draws complete random detection problems — a dataset
-plus aligned probability and accuracy vectors — small enough that
-exhaustive reference computations (PAIRWISE, brute-force maxima) stay
-fast, but varied enough to exercise sparse/dense overlap, ties, missing
-values, and extreme probabilities.
+Thin re-export shim: the generation logic lives in
+:mod:`repro.conformance.generators` so the conformance engine's seeded
+fuzzing and the test suite's hypothesis strategies share one
+implementation.  Import from here in tests (stable address); import from
+``repro.conformance`` in library code.
 """
 
 from __future__ import annotations
 
-from hypothesis import strategies as st
-
-from repro.data import Dataset, DatasetBuilder
-
-probabilities = st.floats(min_value=0.001, max_value=0.999)
-accuracies = st.floats(min_value=0.01, max_value=0.99)
-
-
-@st.composite
-def datasets(
-    draw,
-    max_sources: int = 8,
-    max_items: int = 12,
-    max_values_per_item: int = 4,
-) -> Dataset:
-    """Draw a random small dataset.
-
-    Every source claims a random subset of items; each claim picks one of
-    the item's candidate values, so shared values arise naturally.
-    """
-    n_sources = draw(st.integers(min_value=2, max_value=max_sources))
-    n_items = draw(st.integers(min_value=1, max_value=max_items))
-    builder = DatasetBuilder()
-    for source_id in range(n_sources):
-        builder.ensure_source(f"S{source_id}")
-    for source_id in range(n_sources):
-        claimed = draw(
-            st.lists(
-                st.integers(min_value=0, max_value=n_items - 1),
-                unique=True,
-                max_size=n_items,
-            )
-        )
-        for item_id in claimed:
-            value = draw(st.integers(min_value=0, max_value=max_values_per_item - 1))
-            builder.add(f"S{source_id}", f"item{item_id}", f"v{value}")
-    return builder.build()
-
-
-@st.composite
-def worlds(draw, max_sources: int = 8, max_items: int = 12):
-    """Draw a (dataset, probabilities, accuracies) detection problem."""
-    dataset = draw(datasets(max_sources=max_sources, max_items=max_items))
-    probs = [draw(probabilities) for _ in range(dataset.n_values)]
-    accs = [draw(accuracies) for _ in range(dataset.n_sources)]
-    return dataset, probs, accs
-
-
-# ----------------------------------------------------------------------
-# Adversarial worlds for the early-terminating (BOUND-family) scans
-# ----------------------------------------------------------------------
-
-#: Probabilities that drive Eq. (6) contributions to their extremes:
-#: sharing a near-certainly-false value (p -> 0) concludes *copying* on
-#: the very first shared entry; near-certainly-true values (p -> 1)
-#: contribute almost nothing, pushing pairs toward the no-copy bound or
-#: all the way to an exact scan-end resolution.
-_EXTREME_PROBABILITIES = st.sampled_from(
-    [0.001, 0.002, 0.01, 0.2, 0.5, 0.9, 0.99, 0.998, 0.999]
+from repro.conformance.generators import (  # noqa: F401
+    ACCURACY_MENUS,
+    EXTREME_PROBABILITIES,
+    accuracies,
+    adversarial_worlds,
+    datasets,
+    probabilities,
+    shared_run_world,
+    theta_edge_worlds,
+    worlds,
 )
 
-#: Accuracy menus: a single shared value exercises tied per-provider
-#: terms (and the numpy backend's grid-deduplicated log path); the
-#: extremes exercise clamping.
-_ACCURACY_MENUS = st.sampled_from(
-    [(0.8,), (0.5,), (0.99,), (0.01, 0.99), (0.3, 0.8), (0.5, 0.75, 0.9)]
-)
-
-
-@st.composite
-def adversarial_worlds(draw, max_sources: int = 6, max_items: int = 8):
-    """Worlds engineered to sit on the bound scans' decision edges.
-
-    Compared to :func:`worlds`: *clone* sources (identical claim sets —
-    maximal overlap, copy conclusions on the earliest entries), extreme
-    value probabilities (first-entry and last-entry conclusions), tiny
-    accuracy menus (tied scores, timer milestones landing exactly on
-    integer counts), and single-item datasets (the index degenerates to
-    one entry, so every conclusion is simultaneously first- and
-    last-entry).  Both backends must agree on every one of these.
-    """
-    n_sources = draw(st.integers(min_value=2, max_value=max_sources))
-    n_items = draw(st.integers(min_value=1, max_value=max_items))
-    builder = DatasetBuilder()
-    for source_id in range(n_sources):
-        builder.ensure_source(f"S{source_id}")
-    # Source 0 claims a contiguous prefix of items; clones repeat its
-    # claims verbatim, other sources draw freely with few value choices
-    # (ties everywhere).
-    base_claims = {
-        item_id: draw(st.integers(min_value=0, max_value=1))
-        for item_id in range(draw(st.integers(min_value=1, max_value=n_items)))
-    }
-    for item_id, value in base_claims.items():
-        builder.add("S0", f"item{item_id}", f"v{value}")
-    for source_id in range(1, n_sources):
-        if draw(st.booleans()):
-            for item_id, value in base_claims.items():
-                builder.add(f"S{source_id}", f"item{item_id}", f"v{value}")
-        else:
-            claimed = draw(
-                st.lists(
-                    st.integers(min_value=0, max_value=n_items - 1),
-                    unique=True,
-                    max_size=n_items,
-                )
-            )
-            for item_id in claimed:
-                value = draw(st.integers(min_value=0, max_value=1))
-                builder.add(f"S{source_id}", f"item{item_id}", f"v{value}")
-    dataset = builder.build()
-    probs = [draw(_EXTREME_PROBABILITIES) for _ in range(dataset.n_values)]
-    menu = draw(_ACCURACY_MENUS)
-    accs = [
-        menu[draw(st.integers(min_value=0, max_value=len(menu) - 1))]
-        for _ in range(dataset.n_sources)
-    ]
-    return dataset, probs, accs
-
-
-def shared_run_world(n_shared: int, p_true: float, accuracy: float = 0.8):
-    """Two sources sharing ``n_shared`` identical claims at one probability.
-
-    The scan sees ``n_shared`` equal-scored entries, each contributing
-    the same amount to the (0, 1) pair — the cleanest dial for placing
-    ``C^min`` relative to ``theta_cp``.
-    """
-    builder = DatasetBuilder()
-    builder.ensure_source("S0")
-    builder.ensure_source("S1")
-    for item_id in range(n_shared):
-        builder.add("S0", f"item{item_id}", "v0")
-        builder.add("S1", f"item{item_id}", "v0")
-    dataset = builder.build()
-    return dataset, [p_true] * dataset.n_values, [accuracy, accuracy]
-
-
-def theta_edge_worlds(params, n_shared: int = 3, accuracy: float = 0.8):
-    """Worlds whose conclusion flips between adjacent probability floats.
-
-    Bisects the value probability of :func:`shared_run_world` down to
-    *neighbouring float64 values* ``p_lo``/``p_hi`` such that the scan
-    concludes early at ``p_lo`` but not at ``p_hi`` — the accumulated
-    ``C^min`` lands as exactly on ``theta_cp`` (and, with few shared
-    entries, ``C^max`` on ``theta_ind``) as float worlds allow.  Both
-    sides of every edge are returned; the two backends must agree on the
-    ``>=`` / ``<`` tie-breaking at each one.
-    """
-    import math
-
-    from repro.core import detect_bound
-
-    def concludes_early(p: float) -> bool:
-        dataset, probs, accs = shared_run_world(n_shared, p, accuracy)
-        result = detect_bound(dataset, probs, accs, params)
-        decision = result.decision_for(0, 1)
-        return decision is not None and decision.early and decision.copying
-
-    lo, hi = 0.001, 0.999
-    if not concludes_early(lo):
-        return [shared_run_world(n_shared, lo, accuracy)]
-    if concludes_early(hi):
-        return [shared_run_world(n_shared, hi, accuracy)]
-    while math.nextafter(lo, hi) < hi:
-        mid = (lo + hi) / 2.0
-        if mid in (lo, hi):
-            break
-        if concludes_early(mid):
-            lo = mid
-        else:
-            hi = mid
-    return [
-        shared_run_world(n_shared, lo, accuracy),
-        shared_run_world(n_shared, hi, accuracy),
-    ]
+__all__ = [
+    "ACCURACY_MENUS",
+    "EXTREME_PROBABILITIES",
+    "accuracies",
+    "adversarial_worlds",
+    "datasets",
+    "probabilities",
+    "shared_run_world",
+    "theta_edge_worlds",
+    "worlds",
+]

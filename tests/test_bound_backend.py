@@ -340,7 +340,7 @@ class TestBackendFallback:
             dataset, probs, accs, CopyParams(backend="numpy")
         )
         reference = bound_module.detect_bound_plus(
-            dataset, probs, accs, CopyParams()
+            dataset, probs, accs, CopyParams(backend="python")
         )
         assert calls["numpy"] == 0
         assert result.decisions == reference.decisions

@@ -255,6 +255,104 @@ class TestFuse:
         assert "rounds=" in capsys.readouterr().out
 
 
+class TestConformance:
+    def test_smoke_run_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "sub" / "report.json"
+        code = main(
+            [
+                "conformance", "--smoke", "--cases", "26", "--seed", "19",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "zero divergences" in out
+        assert "contract" in out
+        import json
+
+        payload = json.loads(report_path.read_text())
+        assert payload["version"] == 1
+        assert payload["ok"] is True
+        assert payload["cases"] == 26
+
+    def test_divergence_sets_exit_code_and_corpus(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.fusion.accu_kernel as accu_kernel
+
+        true_update = accu_kernel.update_accuracies_columnar
+        monkeypatch.setattr(
+            accu_kernel,
+            "update_accuracies_columnar",
+            lambda cols, probabilities, params: true_update(
+                cols, probabilities, params
+            )
+            * 0.999,
+        )
+        # A tiny grid that hits the corrupted numpy fusion path: case
+        # indices cycle configs, so a pure-fusion sweep is guaranteed to
+        # run the broken kernel.
+        from repro.conformance import CaseConfig
+
+        monkeypatch.setattr(
+            "repro.conformance.engine.GRIDS",
+            {"smoke": lambda: [CaseConfig("fusion", "none", rounds=2)]},
+        )
+        code = main(
+            [
+                "conformance", "--smoke", "--cases", "2", "--seed", "13",
+                "--corpus", str(tmp_path / "corpus"),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert list((tmp_path / "corpus").glob("*.json"))
+
+    def test_unknown_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["conformance", "--grid", "nope"])
+
+    def test_parser_build_never_imports_heavy_modules(self):
+        """Every subcommand pays build_parser's cost: it must not pull
+        in the conformance engine or hypothesis (a slow test-only dep)."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parent.parent / "src"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import sys; "
+                "from repro.cli import build_parser; build_parser(); "
+                "assert 'hypothesis' not in sys.modules; "
+                "assert 'repro.conformance' not in sys.modules",
+            ],
+            env={"PYTHONPATH": str(src)},
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_grid_choices_stay_in_sync_with_engine(self):
+        """build_parser hardcodes --grid choices (so the parser never
+        imports the conformance engine); this pins them to GRIDS."""
+        from repro.cli import build_parser
+        from repro.conformance.engine import GRIDS
+
+        parser = build_parser()
+        conf = next(
+            action
+            for action in parser._subparsers._group_actions[0].choices[
+                "conformance"
+            ]._actions
+            if action.dest == "grid"
+        )
+        assert sorted(conf.choices) == sorted(GRIDS)
+
+
 class TestParsing:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

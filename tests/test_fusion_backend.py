@@ -5,6 +5,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
+from repro.conformance import CaseConfig, run_case, world_from_problem
 from repro.core import (
     CopyParams,
     IncrementalDetector,
@@ -141,31 +142,56 @@ class TestFusionBackendParity:
     @given(world=worlds(max_sources=6, max_items=10))
     def test_five_round_parity(self, method, world):
         """>= 5 rounds of ACCU (method 'none') / ACCUCOPY under every
-        detection method: identical truths and verdicts, <= 1e-9 drift."""
-        dataset, _, _ = world
+        detection method, verified in lockstep at every step.
+
+        This test used to diff two *complete* ``run_fusion`` runs and
+        assert identical truths plus <= 1e-9 end-state drift — a latent
+        over-assertion that reproduces on the pristine PR-4 code: on a
+        tie-heavy world (all competing scores structurally equal, e.g.
+        two-value items with menu accuracies) the numpy backend's
+        re-association can leave two candidate truths *exactly* tied
+        where the reference separates them by one ulp, flipping the
+        argmax — after which the ACCUCOPY trajectories fork discretely
+        and end-state drift is unbounded (a 4-source/6-item hypothesis
+        example flipped an item truth with the vectors still 1e-16
+        apart).  The real guarantee is *per-step* conformance on
+        bit-identical inputs — detection under the single-round contract
+        (bit-exact for the bound family, INCREMENTAL's bookkeeping
+        rounds included), ACCU/ACCUCOPY updates at <= 1e-9, tie-aware
+        fused truths — which is exactly what the conformance engine's
+        lockstep fusion mode checks."""
+        dataset, probs, accs = world
+        case = run_case(
+            world_from_problem(dataset, probs, accs, kind="hypothesis"),
+            CaseConfig("fusion", method, rounds=5),
+        )
+        assert case.divergences == []
+
+    def test_five_round_end_to_end_on_separated_world(self):
+        """End-to-end run_fusion parity still holds on a well-separated
+        world (the book_cs regime the soak example pins): identical
+        truths and verdicts, <= 1e-9 end-state drift."""
+        dataset = book_cs(scale=0.06).dataset
         reference = run_fusion(
             dataset,
             CopyParams(backend="python"),
-            detector=_detector_for(method, CopyParams(backend="python")),
+            detector=_detector_for("index", CopyParams(backend="python")),
             config=FIVE_ROUNDS,
         )
         vectorized = run_fusion(
             dataset,
             CopyParams(backend="numpy"),
-            detector=_detector_for(method, CopyParams(backend="numpy")),
+            detector=_detector_for("index", CopyParams(backend="numpy")),
             config=FIVE_ROUNDS,
         )
         assert vectorized.n_rounds == reference.n_rounds == 5
         assert vectorized.converged == reference.converged
         assert vectorized.chosen == reference.chosen
         for ref_round, vec_round in zip(reference.rounds, vectorized.rounds):
-            ref_pairs = (
-                ref_round.detection.copying_pairs() if ref_round.detection else set()
+            assert (
+                vec_round.detection.copying_pairs()
+                == ref_round.detection.copying_pairs()
             )
-            vec_pairs = (
-                vec_round.detection.copying_pairs() if vec_round.detection else set()
-            )
-            assert vec_pairs == ref_pairs
         assert _drift(reference.probabilities, vectorized.probabilities) <= TOL
         assert _drift(reference.accuracies, vectorized.accuracies) <= TOL
 

@@ -214,8 +214,16 @@ class TestBackendEquivalence:
         self, example, example_probabilities, example_accuracies, params, method
     ):
         """The numpy backend reproduces the paper's computation counts."""
+        # The reference side pins backend="python" explicitly: since the
+        # default flipped to numpy, a bare `params` here would make this
+        # a vacuous numpy-vs-numpy comparison.
         ref = detect(
-            example, example_probabilities, example_accuracies, params, method=method
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            method=method,
+            backend="python",
         )
         vec = detect(
             example,

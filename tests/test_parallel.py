@@ -218,8 +218,13 @@ class TestColumnarBackend:
     def test_executors_match_sequential(
         self, example, example_probabilities, example_accuracies, params, executor
     ):
+        # Explicit python reference (the default backend is numpy now —
+        # this comparison is columnar-payload vs reference dict path).
         sequential = detect_index(
-            example, example_probabilities, example_accuracies, params
+            example,
+            example_probabilities,
+            example_accuracies,
+            CopyParams(backend="python"),
         )
         parallel = detect_index_parallel(
             example,
@@ -247,7 +252,7 @@ class TestColumnarBackend:
         self, world, n_partitions, strategy
     ):
         dataset, probs, accs = world
-        params = CopyParams()
+        params = CopyParams(backend="python")
         python = detect_index_parallel(
             dataset,
             probs,
@@ -371,7 +376,7 @@ class TestHybridParallel:
     def test_backends_agree_on_verdicts(self, world):
         dataset, probs, accs = world
         python = detect_hybrid_parallel(
-            dataset, probs, accs, CopyParams(), n_partitions=3
+            dataset, probs, accs, CopyParams(backend="python"), n_partitions=3
         )
         numpy_ = detect_hybrid_parallel(
             dataset, probs, accs, CopyParams(backend="numpy"), n_partitions=3
