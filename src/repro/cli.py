@@ -24,6 +24,7 @@ from pathlib import Path
 from .core import (
     BACKENDS,
     METHODS,
+    PAIR_LAYOUTS,
     PARALLEL_METHODS,
     PARTITION_AXES,
     REDUCE_MODES,
@@ -59,10 +60,25 @@ def _add_params(parser: argparse.ArgumentParser) -> None:
         help="entries per epoch for the numpy bound scans "
         "(default: the library's tuned value)",
     )
+    parser.add_argument(
+        "--pair-layout",
+        choices=list(PAIR_LAYOUTS),
+        default="auto",
+        help="pair-state layout for the numpy kernels: 'auto' (default — "
+        "dense flat arrays while n_sources^2 stays under the per-kernel "
+        "limit, compact observed-pair arrays beyond it), 'dense', or "
+        "'sparse' to force a layout",
+    )
 
 
 def _params(args: argparse.Namespace) -> CopyParams:
-    return CopyParams(alpha=args.alpha, s=args.s, n=args.n, backend=args.backend)
+    return CopyParams(
+        alpha=args.alpha,
+        s=args.s,
+        n=args.n,
+        backend=args.backend,
+        pair_layout=args.pair_layout,
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:

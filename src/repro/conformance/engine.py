@@ -60,6 +60,7 @@ from typing import Callable, Sequence
 
 from ..core import (
     METHODS,
+    PAIR_LAYOUTS,
     CopyParams,
     IncrementalDetector,
     SingleRoundDetector,
@@ -108,6 +109,7 @@ class CaseConfig:
     hybrid_threshold: int | None = None
     band: tuple[float, float] | None = None
     rounds: int = 4
+    pair_layout: str = "auto"
 
     def __post_init__(self) -> None:
         valid = {
@@ -123,6 +125,8 @@ class CaseConfig:
             )
         if self.ordering not in _ORDERINGS:
             raise ValueError(f"unknown ordering {self.ordering!r}")
+        if self.pair_layout not in PAIR_LAYOUTS:
+            raise ValueError(f"unknown pair layout {self.pair_layout!r}")
 
     @property
     def label(self) -> str:
@@ -147,6 +151,8 @@ class CaseConfig:
             parts.append("band")
         if self.mode == "fusion":
             parts.append(f"r{self.rounds}")
+        if self.pair_layout != "auto":
+            parts.append(self.pair_layout)
         return ":".join(parts)
 
     def reference(self) -> "CaseConfig":
@@ -187,12 +193,12 @@ class CaseOutcome:
 # ----------------------------------------------------------------------
 # Runners
 # ----------------------------------------------------------------------
-def _params(backend: str) -> CopyParams:
-    return CopyParams(backend=backend)
+def _params(backend: str, pair_layout: str = "auto") -> CopyParams:
+    return CopyParams(backend=backend, pair_layout=pair_layout)
 
 
 def _run_detect(dataset, probabilities, accuracies, config: CaseConfig):
-    params = _params(config.backend)
+    params = _params(config.backend, config.pair_layout)
     if config.n_partitions > 1:
         from ..parallel import detect_hybrid_parallel, detect_index_parallel
 
@@ -241,7 +247,7 @@ def _run_scan(dataset, probabilities, accuracies, config: CaseConfig):
         dataset,
         probabilities,
         accuracies,
-        _params(config.backend),
+        _params(config.backend, config.pair_layout),
         ordering=_ORDERINGS[config.ordering],
         use_timers=config.method != "bound",
         hybrid_threshold=threshold,
@@ -252,7 +258,7 @@ def _run_scan(dataset, probabilities, accuracies, config: CaseConfig):
 
 
 def _make_detector(config: CaseConfig):
-    params = _params(config.backend)
+    params = _params(config.backend, config.pair_layout)
     if config.method == "none":
         return None
     if config.method == "incremental":
@@ -407,7 +413,7 @@ def _fusion_case(dataset, config: CaseConfig) -> list[str]:
     """
     from ..fusion import choose_values, update_accuracies, value_probabilities
 
-    params = _params(config.backend)
+    params = _params(config.backend, config.pair_layout)
     ref_params = _params("python")
     fusion_backend = config.fusion_backend or config.backend
     if fusion_backend == "numpy":
@@ -658,6 +664,14 @@ def smoke_grid() -> list[CaseConfig]:
         CaseConfig("detect", "hybrid", n_partitions=2, executor="threads"),
         CaseConfig("detect", "hybrid", n_partitions=2, executor="processes",
                    reduce="tree", partition_by="work"),
+        # The sparse pair layout forced on small worlds: the compact
+        # observed-pair state must match the reference bit-for-bit
+        # (bound family) / at tolerance (kernel + fusion paths).
+        CaseConfig("detect", "index", pair_layout="sparse"),
+        CaseConfig("detect", "bound+", pair_layout="sparse"),
+        CaseConfig("detect", "hybrid", pair_layout="sparse"),
+        CaseConfig("scan", "bound+", epoch_size=3, pair_layout="sparse"),
+        CaseConfig("fusion", "bound+", rounds=3, pair_layout="sparse"),
         # Multi-round fusion: ACCU ("none"), ACCUCOPY under every
         # detector, INCREMENTAL's prepare + incremental rounds.
         *(CaseConfig("fusion", method, rounds=4) for method in FUSION_METHODS),
@@ -694,6 +708,15 @@ def full_grid() -> list[CaseConfig]:
                    reduce="tree", partition_by="work"),
         CaseConfig("detect", "hybrid", backend="python", n_partitions=3,
                    executor="threads"),
+        # Deeper sparse-layout coverage: the remaining methods, the
+        # parallel merge path, and an epoch sweep.
+        CaseConfig("detect", "pairwise", pair_layout="sparse"),
+        CaseConfig("detect", "bound", pair_layout="sparse"),
+        CaseConfig("scan", "hybrid", pair_layout="sparse"),
+        CaseConfig("scan", "bound+", epoch_size=1, pair_layout="sparse"),
+        CaseConfig("detect", "index", n_partitions=2, executor="threads",
+                   reduce="tree", pair_layout="sparse"),
+        CaseConfig("fusion", "incremental", rounds=4, pair_layout="sparse"),
         # Longer fusion runs and mixed-backend fusion.
         CaseConfig("fusion", "incremental", rounds=6),
         CaseConfig("fusion", "hybrid", rounds=6),

@@ -370,6 +370,51 @@ def adversarial_world(
     )
 
 
+def large_sparse_world(
+    choose: Chooser,
+    n_sources: int = 32,
+    n_items: int = 12,
+    zipf_exponent: float = 1.1,
+    coverage: float = 0.8,
+    max_values_per_item: int = 3,
+) -> World:
+    """A many-sources, Zipf-coverage world for the sparse pair layout.
+
+    The rank-``r`` source covers up to ``n_items * coverage / (r+1)**z``
+    items (one at minimum), drawn with a quadratic popularity skew
+    (low-id items are claimed far more often), so head sources overlap
+    heavily on the popular items while the long tail touches one or two
+    of them each — the regime where observed pairs are a vanishing
+    fraction of the ``n_sources**2`` key space and the dense flat arrays
+    stop scaling, yet the scans over the popular-item pairs are long
+    enough to be worth vectorizing.  ``coverage`` tunes the
+    observed-pair density directly; the grid runs this downsized (tens
+    of sources) while the scale benchmark drives the same construction
+    to 10k+ sources.
+    """
+    sources = [f"S{rank}" for rank in range(n_sources)]
+    claims: list[tuple[str, str, str]] = []
+    for rank, source in enumerate(sources):
+        quota = max(
+            1, round(n_items * coverage / (rank + 1) ** zipf_exponent)
+        )
+        items = set()
+        for _ in range(quota):
+            unit = choose.unit_float(0.0, 1.0)
+            items.add(min(int(unit * unit * n_items), n_items - 1))
+        for item_id in sorted(items):
+            value = choose.integer(0, max_values_per_item - 1)
+            claims.append((source, f"item{item_id}", f"v{value}"))
+    return _finish_world(
+        choose,
+        "large_sparse",
+        sources,
+        claims,
+        prob_of_value=lambda c: c.choice(EXTREME_PROBABILITIES),
+        acc_of_source=lambda c: c.unit_float(0.05, 0.95),
+    )
+
+
 def shared_run_world(
     n_shared: int, p_true: float, accuracy: float = 0.8
 ) -> tuple[Dataset, list[float], list[float]]:
@@ -481,6 +526,7 @@ WORLD_KINDS = (
     "adversarial",
     "shared_run",
     "profile",
+    "large_sparse",
     "theta_edge",
 )
 
@@ -494,7 +540,8 @@ def generate_world(case_index: int, seed: int) -> World:
     any case from a grid run can be regenerated without the corpus.
     Cycles through :data:`WORLD_KINDS` so every configuration meets
     random, adversarial (clones/extremes/ties), equal-run, profile
-    (zipf/heterogeneous) and threshold-edge worlds.
+    (zipf/heterogeneous), sparse-coverage (many sources, few observed
+    pairs) and threshold-edge worlds.
     """
     kind = WORLD_KINDS[case_index % len(WORLD_KINDS)]
     rng = random.Random(seed * 1_000_003 + case_index)
@@ -513,6 +560,14 @@ def generate_world(case_index: int, seed: int) -> World:
     elif kind == "profile":
         name, scale = PROFILE_MENU[(case_index // len(WORLD_KINDS)) % len(PROFILE_MENU)]
         world = profile_world(name, scale, seed=seed + case_index)
+    elif kind == "large_sparse":
+        # Downsized for grid budgets; the scale benchmark runs the same
+        # construction at 10k+ sources.
+        world = large_sparse_world(
+            choose,
+            n_sources=choose.integer(24, 40),
+            n_items=choose.integer(8, 16),
+        )
     else:  # theta_edge
         from ..core.params import CopyParams
 

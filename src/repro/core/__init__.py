@@ -39,7 +39,7 @@ from .index import EntryOrdering, IndexEntry, InvertedIndex
 from .index_algo import detect_index
 from .maxscore import max_score, max_score_bruteforce
 from .pairwise import detect_pairwise
-from .params import BACKENDS, PARTITION_AXES, REDUCE_MODES, CopyParams
+from .params import BACKENDS, PAIR_LAYOUTS, PARTITION_AXES, REDUCE_MODES, CopyParams
 from .popularity import (
     detect_pairwise_popular,
     estimate_relative_popularity,
@@ -85,6 +85,7 @@ __all__ = [
     "IndexEntry",
     "InvertedIndex",
     "METHODS",
+    "PAIR_LAYOUTS",
     "PARALLEL_METHODS",
     "PairBookkeeping",
     "PairDecision",

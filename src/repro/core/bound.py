@@ -271,28 +271,32 @@ def scan_with_bounds(
         theta_cp = params.theta_cp_at(p_low)
         theta_ind = params.theta_ind_at(p_high)
     if params.backend == "numpy" and eval_log is None:
-        from .bound_kernel import DENSE_STATE_LIMIT, scan_with_bounds_numpy
+        # Every world size runs vectorized: the epoch scan picks its
+        # pair-state layout (dense flat arrays or sparse observed-pair
+        # slots) from ``params.pair_layout`` — the former silent
+        # fallback to this module's reference loop above
+        # DENSE_STATE_LIMIT is retired.
+        from .bound_kernel import scan_with_bounds_numpy
 
-        if dataset.n_sources * dataset.n_sources <= DENSE_STATE_LIMIT:
-            outcome = scan_with_bounds_numpy(
-                dataset,
-                accuracies,
-                params,
-                index,
-                theta_cp,
-                theta_ind,
-                use_timers,
-                hybrid_threshold,
-                track_bookkeeping,
-                method_name,
-                epoch_size=epoch_size,
-                stop_at=stop_at,
-                collect_state=collect_state,
-            )
-            if collect_state:
-                return outcome
-            result, bookkeeping = outcome
-            return ScanOutcome(result=result, index=index, bookkeeping=bookkeeping)
+        outcome = scan_with_bounds_numpy(
+            dataset,
+            accuracies,
+            params,
+            index,
+            theta_cp,
+            theta_ind,
+            use_timers,
+            hybrid_threshold,
+            track_bookkeeping,
+            method_name,
+            epoch_size=epoch_size,
+            stop_at=stop_at,
+            collect_state=collect_state,
+        )
+        if collect_state:
+            return outcome
+        result, bookkeeping = outcome
+        return ScanOutcome(result=result, index=index, bookkeeping=bookkeeping)
     clamp = params.clamp_accuracy
     acc = [clamp(a) for a in accuracies]
     s = params.s

@@ -17,11 +17,18 @@ that structure to batch the scan without changing a single observable bit:
    is taken with ``math.log`` per element because ``np.log``'s SIMD path
    can differ from ``math.log`` by an ulp.  Contributions are therefore
    bit-equal to the pure-Python scan's.
-3. **Flat per-pair state.**  ``(n0, C0_fwd, C0_bwd)``, the BOUND+ timer
-   milestones and the pair lifecycle live in dense arrays keyed by
-   ``s1 * n_sources + s2``.  Bulk accumulation uses ``np.add.at`` /
-   ``np.bincount``, whose scatter-adds apply in stream order — an exact
-   left fold, identical to the reference's ``+=`` sequence.
+3. **Compact per-pair state.**  ``(n0, C0_fwd, C0_bwd)``, the BOUND+
+   timer milestones and the pair lifecycle live in flat arrays indexed
+   by :class:`repro.core.pairspace.PairSpace` slots — the full
+   ``s1 * n_sources + s2`` key space in the dense layout, one slot per
+   *observed* pair (every key in ``index.shared_items``) in the sparse
+   one.  Bulk accumulation uses ``np.add.at`` / ``np.bincount``, whose
+   scatter-adds apply in stream order — an exact left fold, identical
+   to the reference's ``+=`` sequence.  Sparse slots are the ranks of
+   the sorted observed keys, so slot order is key order and every
+   ordering-sensitive step (stable sorts, ``np.unique`` grouping,
+   ascending-slot finalization) is identical between the layouts: the
+   bit-exactness contract below holds for both.
 4. **Epoch-boundary screening.**  At each epoch boundary the pairs that
    could possibly have evaluated a bound inside the epoch are identified
    vectorially:
@@ -59,24 +66,29 @@ scores — are bit-identical to ``backend="python"``, while the per-entry
 Python interpreter work collapses to two ``math.log`` calls per *live*
 incidence plus a handful of vector operations per epoch.
 
-Dense state sizing: the flat key space is ``n_sources ** 2``; beyond
-:data:`DENSE_STATE_LIMIT` keys the caller falls back to the pure-Python
-scan (the reference is always available and always correct).
+State sizing: ``CopyParams.pair_layout`` picks the layout — ``"auto"``
+keeps the dense flat key space while ``n_sources ** 2`` fits under
+:data:`DENSE_STATE_LIMIT` and switches (with a logged warning) to the
+sparse observed-pair layout beyond it.  The former behaviour — silently
+falling back to the pure-Python reference scan above the limit — is
+retired: big worlds now run vectorized.
 """
 
 from __future__ import annotations
 
-from math import log
+from itertools import chain
+from math import exp, log
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from .contribution import posterior
+from .contribution import CopyPosterior
 from .kernel import (
     clamp_accuracies,
     expand_incidences_ordered,
     score_incidence_args,
 )
+from .pairspace import PairSpace, encode_pair_keys, resolve_pair_layout
 from .params import CopyParams
 from .result import CostCounter, DetectionResult, PairDecision
 
@@ -98,9 +110,12 @@ _DONE_NOCOPY = 4
 #: knob and 128 sits at the sweet spot on the dense reference world.
 DEFAULT_EPOCH_SIZE = 128
 
-#: Largest flat key space (``n_sources ** 2``) the dense per-pair state
-#: arrays are allocated for; larger worlds fall back to the pure-Python
-#: reference scan (eight dense arrays at this limit cost ~64 MB).
+#: Largest flat key space (``n_sources ** 2``) the ``"auto"`` layout
+#: allocates dense per-pair state arrays for (eight dense arrays at this
+#: limit cost ~64 MB); larger worlds switch — with a logged warning —
+#: to the sparse observed-pair layout, whose state is bounded by
+#: ``len(index.shared_items)`` instead.  (Before the sparse layer this
+#: limit triggered a silent fallback to the pure-Python scan.)
 DENSE_STATE_LIMIT = 1 << 20
 
 #: Absolute slack on the BOUND conclusion screens.  The screens evaluate
@@ -149,12 +164,35 @@ class EpochScan:
         epoch_size: int | None = None,
     ) -> None:
         self.n_sources = dataset.n_sources
-        self.key_space = self.n_sources * self.n_sources
-        if self.key_space > DENSE_STATE_LIMIT:
-            raise ValueError(
-                f"dense bound state needs n_sources**2 <= {DENSE_STATE_LIMIT}; "
-                f"got {self.key_space} (callers fall back to backend='python')"
+        layout = resolve_pair_layout(
+            params.pair_layout,
+            self.n_sources,
+            DENSE_STATE_LIMIT,
+            "bound_kernel.EpochScan",
+        )
+        if layout == "dense":
+            self.space = PairSpace.dense(self.n_sources)
+            self._l_by_slot = None
+        else:
+            # Every pair the entry stream can produce shares at least one
+            # item, so the shared-items universe covers every live slot.
+            # Flatten the dict once at C speed (fromiter over chained
+            # keys and over values) and sort: the keys become the slot
+            # universe and the aligned l(S1, S2) counts ride along, so
+            # opening a pair later never touches the Python dict.
+            shared = index.shared_items
+            flat = np.fromiter(
+                chain.from_iterable(shared.keys()),
+                dtype=np.int64,
+                count=2 * len(shared),
             )
+            keys = flat[0::2] * np.int64(dataset.n_sources) + flat[1::2]
+            l_values = np.fromiter(
+                shared.values(), dtype=np.int64, count=len(shared)
+            )
+            order = np.argsort(keys, kind="stable")
+            self.space = PairSpace(self.n_sources, "sparse", keys[order])
+            self._l_by_slot = l_values[order]
         self.index = index
         self.entries = index.entries
         self.tail_start = index.tail_start
@@ -169,6 +207,11 @@ class EpochScan:
         self.hybrid_threshold = hybrid_threshold
         self.track = track_bookkeeping
         self.ln_diff = params.ln_one_minus_s
+        # Hoisted Eq. (2) constants: the decision materialization below
+        # replays contribution.posterior's arithmetic term for term, so
+        # the two logs can be taken once without moving a single bit.
+        self._log_alpha = log(params.alpha)
+        self._log_beta = log(params.beta)
         self.acc = clamp_accuracies(accuracies, params)
         # Factorized accuracies for the grid-deduplicated log path: when
         # few distinct accuracy values exist (synthetic worlds often use
@@ -181,21 +224,26 @@ class EpochScan:
             if epoch_size is None
             else max(int(epoch_size), 1)
         )
-        ks = self.key_space
-        self.status = np.zeros(ks, dtype=np.int8)
-        self.n0 = np.zeros(ks, dtype=np.int64)
-        self.c0_fwd = np.zeros(ks)
-        self.c0_bwd = np.zeros(ks)
+        space = self.space
+        self.status = space.zeros(dtype=np.int8)
+        self.n0 = space.zeros(dtype=np.int64)
+        self.c0_fwd = space.zeros()
+        self.c0_bwd = space.zeros()
         # BOUND+ timer milestones; integer-valued but stored as float64
         # (math.ceil products stay well under 2**53, so comparisons
         # against integer counts are exact).
-        self.min_check_at = np.zeros(ks)
-        self.max_check_n1 = np.zeros(ks)
-        self.max_check_n2 = np.zeros(ks)
-        self.l_arr = np.zeros(ks, dtype=np.int64)
-        self.n_after = np.zeros(ks, dtype=np.int64)
-        #: concluded pairs: key -> (decision, decision_pos, n_before)
-        self.done: dict[int, tuple[PairDecision, int, int]] = {}
+        self.min_check_at = space.zeros()
+        self.max_check_n1 = space.zeros()
+        self.max_check_n2 = space.zeros()
+        self.l_arr = space.zeros(dtype=np.int64)
+        self.n_after = space.zeros(dtype=np.int64)
+        #: queued early conclusions, one compact array batch per epoch
+        #: flush: (slots, c_fwd, c_bwd, a0, a1, a2, is_min, positions,
+        #: n_before).  Decision objects are materialized once, lazily —
+        #: building ~1 dataclass per pair inside the scan loop costs
+        #: more than the scan itself on large sparse worlds.
+        self._done_batches: list[tuple[np.ndarray, ...]] = []
+        self._done_cache: dict[int, tuple[PairDecision, int, int]] | None = None
         self.n_src = np.zeros(self.n_sources, dtype=np.int64)
         self.incidences = 0
         self.score_updates = 0
@@ -236,33 +284,41 @@ class EpochScan:
             return
         src1 = prov[islot]
         src2 = prov[jslot]
-        keys = src1 * np.int64(self.n_sources) + src2
-        st = self.status[keys]
+        slots = self.space.slots(
+            encode_pair_keys(src1, src2, self.n_sources)
+        )
+        st = self.status[slots]
 
         # --- open pairs first seen in a non-tail entry ----------------
         unseen = st == _UNSEEN
         if unseen.any():
-            new_keys, first_idx = np.unique(keys[unseen], return_index=True)
+            new_slots, first_idx = np.unique(slots[unseen], return_index=True)
             opened = (row[unseen][first_idx] + e0) < self.tail_start
-            open_keys = new_keys[opened]
-            if len(open_keys):
-                n = self.n_sources
-                shared = self.shared_items
-                l_new = np.fromiter(
-                    (shared[(k // n, k % n)] for k in open_keys.tolist()),
-                    np.int64,
-                    count=len(open_keys),
-                )
-                self.l_arr[open_keys] = l_new
-                self.status[open_keys] = np.where(
+            open_slots = new_slots[opened]
+            if len(open_slots):
+                if self._l_by_slot is not None:
+                    l_new = self._l_by_slot[open_slots]
+                else:
+                    shared = self.shared_items
+                    s1_o, s2_o = self.space.decode(open_slots)
+                    l_new = np.fromiter(
+                        (
+                            shared[pair]
+                            for pair in zip(s1_o.tolist(), s2_o.tolist())
+                        ),
+                        np.int64,
+                        count=len(open_slots),
+                    )
+                self.l_arr[open_slots] = l_new
+                self.status[open_slots] = np.where(
                     l_new <= self.hybrid_threshold, _EXACT, _ACTIVE
                 ).astype(np.int8)
-                st = self.status[keys]
+                st = self.status[slots]
 
         # --- count post-decision incidences (INCREMENTAL bookkeeping) -
         done_mask = st >= _DONE_COPY
         if done_mask.any():
-            np.add.at(self.n_after, keys[done_mask], 1)
+            np.add.at(self.n_after, slots[done_mask], 1)
 
         # --- exact contributions for live incidences ------------------
         live = (st == _ACTIVE) | (st == _EXACT)
@@ -271,7 +327,7 @@ class EpochScan:
         lrow = row[live]
         li = islot[live]
         lj = jslot[live]
-        lk = keys[live]
+        lk = slots[live]
         ls = st[live]
         fwd, bwd = self._exact_contributions(
             probs_e, lrow, src1[live], src2[live]
@@ -293,17 +349,16 @@ class EpochScan:
         ak = lk[act_mask]
         act_fwd = fwd[act_mask]
         act_bwd = bwd[act_mask]
-        # Dense per-key aggregation: the key space is capped by
-        # DENSE_STATE_LIMIT, so bincount scatter beats a sort-based
-        # np.unique.
-        ks = self.key_space
-        cnt_dense = np.bincount(ak, minlength=ks)
+        # Per-slot aggregation: the slot space is capped (dense by
+        # DENSE_STATE_LIMIT, sparse by the observed pair count), so
+        # bincount scatter beats a sort-based np.unique.
+        ns = self.space.n_slots
+        cnt_dense = np.bincount(ak, minlength=ns)
         uk = np.nonzero(cnt_dense)[0]
         cnt = cnt_dense[uk]
         n0_u = self.n0[uk]
         n0_end = n0_u + cnt
-        s1_u = uk // self.n_sources
-        s2_u = uk % self.n_sources
+        s1_u, s2_u = self.space.decode(uk)
 
         if self.use_timers:
             # Integer trigger screen at conservative (epoch-end) counts:
@@ -319,8 +374,8 @@ class EpochScan:
             l_u = self.l_arr[uk].astype(np.float64)
             c0f_u = self.c0_fwd[uk]
             c0b_u = self.c0_bwd[uk]
-            sum_f = np.bincount(ak, weights=act_fwd, minlength=ks)[uk]
-            sum_b = np.bincount(ak, weights=act_bwd, minlength=ks)[uk]
+            sum_f = np.bincount(ak, weights=act_fwd, minlength=ns)[uk]
+            sum_b = np.bincount(ak, weights=act_bwd, minlength=ns)[uk]
             # C^min is monotone nondecreasing, so the epoch-end value is
             # the epoch maximum: no copy conclusion below theta_cp.
             end_min = (
@@ -347,7 +402,7 @@ class EpochScan:
             max_cand = lower_max < self.theta_ind + SCREEN_MARGIN
             replay_u = min_cand | max_cand
 
-        replay_dense = np.zeros(ks, dtype=bool)
+        replay_dense = np.zeros(ns, dtype=bool)
         replay_dense[uk[replay_u]] = True
         inc_replay = replay_dense[ak]
         bulk = ~inc_replay
@@ -526,8 +581,7 @@ class EpochScan:
         best_min = np.maximum(cmin_f, cmin_b)
         concl_min = best_min >= self.theta_cp
         # --- C^max trajectory (Eq. 10) --------------------------------
-        s1_b = keys_b // self.n_sources
-        s2_b = keys_b % self.n_sources
+        s1_b, s2_b = self.space.decode(keys_b)
         ips1 = self.ips[s1_b][:, None]
         ips2 = self.ips[s2_b][:, None]
         h = np.maximum(n1_m * l_m / ips1, n2_m * l_m / ips2)
@@ -676,34 +730,78 @@ class EpochScan:
         pos_m: np.ndarray,
         n0_m: np.ndarray,
     ) -> None:
-        """Materialize early verdicts for concluded (row, cell) pairs."""
-        params = self.params
-        done = self.done
-        cf_min = cmin_f[rows, cells].tolist()
-        cb_min = cmin_b[rows, cells].tolist()
-        cf_max = cmax_f[rows, cells].tolist()
-        cb_max = cmax_b[rows, cells].tolist()
-        positions = pos_m[rows, cells].tolist()
-        n_before = n0_m[rows, cells].tolist()
-        keys_l = keys_b[rows].tolist()
-        for i, copying in enumerate(is_min.tolist()):
-            if copying:
-                c_fwd = cf_min[i]
-                c_bwd = cb_min[i]
-            else:
-                c_fwd = cf_max[i]
-                c_bwd = cb_max[i]
-            done[keys_l[i]] = (
-                PairDecision(
-                    c_fwd=c_fwd,
-                    c_bwd=c_bwd,
-                    posterior=posterior(c_fwd, c_bwd, params),
-                    copying=copying,
-                    early=True,
-                ),
-                positions[i],
-                n_before[i],
-            )
+        """Queue early verdicts for concluded (row, cell) pairs.
+
+        Only compact arrays are stored here — the hot scan never builds
+        a Python object per conclusion.  ``finalize`` (or the ``done``
+        property) materializes :class:`PairDecision` objects exactly
+        once.  contribution.posterior's additions, max, and shift
+        subtractions are lifted into numpy: those operations are IEEE
+        order-independent (max of finite floats, subtract of the same
+        operands), so the scalars later fed to ``exp`` — and therefore
+        every float stored — match the reference bit for bit.
+        """
+        la = self._log_alpha
+        lb = self._log_beta
+        c_fwd = np.where(is_min, cmin_f[rows, cells], cmax_f[rows, cells])
+        c_bwd = np.where(is_min, cmin_b[rows, cells], cmax_b[rows, cells])
+        t1 = la + c_fwd
+        t2 = la + c_bwd
+        shift = np.maximum(np.maximum(t1, t2), lb)
+        self._done_batches.append((
+            keys_b[rows], c_fwd, c_bwd,
+            lb - shift, t1 - shift, t2 - shift,
+            is_min, pos_m[rows, cells], n0_m[rows, cells],
+        ))
+        self._done_cache = None
+
+    @property
+    def done(self) -> dict[int, tuple[PairDecision, int, int]]:
+        """Concluded pairs: slot -> (decision, decision_pos, n_before).
+
+        Materialized lazily from the queued array batches; the scan
+        itself never pays for decision-object construction.
+        """
+        if self._done_cache is None:
+            self._done_cache = self._materialize_done()
+        return self._done_cache
+
+    def _materialize_done(self) -> dict[int, tuple[PairDecision, int, int]]:
+        done: dict[int, tuple[PairDecision, int, int]] = {}
+        # The frozen-dataclass __init__ costs ~1us per decision in
+        # object.__setattr__ calls; at one decision per concluded pair
+        # that dominates, so construction goes through __new__ +
+        # __dict__ directly.  Field values, __eq__, and pickling are
+        # unaffected.
+        new_decision = object.__new__
+        new_posterior = tuple.__new__
+        for batch in self._done_batches:
+            keys, c_fwd, c_bwd, a0, a1, a2, is_min, positions, n_before = batch
+            keys_l = keys.tolist()
+            cf_l = c_fwd.tolist()
+            cb_l = c_bwd.tolist()
+            a0_l = a0.tolist()
+            a1_l = a1.tolist()
+            a2_l = a2.tolist()
+            pos_l = positions.tolist()
+            nb_l = n_before.tolist()
+            for i, copying in enumerate(is_min.tolist()):
+                e0 = exp(a0_l[i])
+                e1 = exp(a1_l[i])
+                e2 = exp(a2_l[i])
+                total = e0 + e1 + e2
+                decision = new_decision(PairDecision)
+                decision.__dict__.update({
+                    "c_fwd": cf_l[i],
+                    "c_bwd": cb_l[i],
+                    "posterior": new_posterior(
+                        CopyPosterior, (e0 / total, e1 / total, e2 / total)
+                    ),
+                    "copying": copying,
+                    "early": True,
+                })
+                done[keys_l[i]] = (decision, pos_l[i], nb_l[i])
+        return done
 
     # ------------------------------------------------------------------
     # Outcomes
@@ -723,38 +821,144 @@ class EpochScan:
         bookkeeping = {} if self.track else None
         n = self.n_sources
         ln_diff = self.ln_diff
-        params = self.params
         if bookkeeping is not None:
             from .bound import PairBookkeeping
-        for key in np.nonzero(self.status)[0].tolist():
-            state = int(self.status[key])
-            pair = divmod(key, n)
-            cost.pairs_considered += 1
-            l_shared = int(self.l_arr[key])
-            c0f = float(self.c0_fwd[key])
-            c0b = float(self.c0_bwd[key])
-            if state in (_ACTIVE, _EXACT):
-                cost.score_update(2)
-                n0 = int(self.n0[key])
-                penalty = (l_shared - n0) * ln_diff
-                c_fwd = c0f + penalty
-                c_bwd = c0b + penalty
-                post = posterior(c_fwd, c_bwd, params)
-                decision = PairDecision(
-                    c_fwd=c_fwd,
-                    c_bwd=c_bwd,
-                    posterior=post,
-                    copying=post.copying,
-                    early=False,
-                )
-                decision_pos = end_position
-                n_before = n0
-                n_aft = 0
-            else:
-                decision, decision_pos, n_before = self.done[key]
-                n_aft = int(self.n_after[key])
-            decisions[pair] = decision
-            if bookkeeping is not None:
+        live_slots = np.nonzero(self.status)[0]
+        status_live = self.status[live_slots]
+        cost.pairs_considered += len(live_slots)
+        la = self._log_alpha
+        lb = self._log_beta
+        if bookkeeping is None:
+            # Fast path: the scan queued concluded pairs as compact
+            # array batches; survivors (active/exact) get the same
+            # vectorized posterior-argument treatment (IEEE
+            # order-independent ops, bit-identical scalars), then one
+            # key-sorted pass materializes every PairDecision exactly
+            # once.  Ascending keys reproduce the dense path's dict
+            # population order.
+            surv_idx = np.nonzero(status_live <= _EXACT)[0]
+            parts = [
+                (b[0], b[1], b[2], b[3], b[4], b[5], b[6].astype(np.int8))
+                for b in self._done_batches
+            ]
+            if len(surv_idx):
+                cost.score_update(2 * len(surv_idx))
+                surv_keys = live_slots[surv_idx]
+                penalty = (
+                    self.l_arr[surv_keys] - self.n0[surv_keys]
+                ) * ln_diff
+                c_fwd_s = self.c0_fwd[surv_keys] + penalty
+                c_bwd_s = self.c0_bwd[surv_keys] + penalty
+                t1 = la + c_fwd_s
+                t2 = la + c_bwd_s
+                shift = np.maximum(np.maximum(t1, t2), lb)
+                # flag -1: decision from the posterior, early=False.
+                parts.append((
+                    surv_keys, c_fwd_s, c_bwd_s,
+                    lb - shift, t1 - shift, t2 - shift,
+                    np.full(len(surv_idx), -1, dtype=np.int8),
+                ))
+            if parts:
+                keys_all = np.concatenate([p[0] for p in parts])
+                order = np.argsort(keys_all)
+                s1_all, s2_all = self.space.decode(keys_all[order])
+                s1_l = s1_all.tolist()
+                s2_l = s2_all.tolist()
+                cf_l = np.concatenate([p[1] for p in parts])[order].tolist()
+                cb_l = np.concatenate([p[2] for p in parts])[order].tolist()
+                a0_l = np.concatenate([p[3] for p in parts])[order].tolist()
+                a1_l = np.concatenate([p[4] for p in parts])[order].tolist()
+                a2_l = np.concatenate([p[5] for p in parts])[order].tolist()
+                flags = np.concatenate([p[6] for p in parts])[order]
+                # math.exp per scalar (the reference's exp), batched
+                # through map; the fold (e0 + e1) + e2 and the
+                # divisions then run vectorized over the same operands
+                # in the same order — bit-identical posteriors.
+                e0 = np.array(list(map(exp, a0_l)))
+                e1 = np.array(list(map(exp, a1_l)))
+                e2 = np.array(list(map(exp, a2_l)))
+                total = (e0 + e1) + e2
+                ind_l = (e0 / total).tolist()
+                fwd_l = (e1 / total).tolist()
+                bwd_l = (e2 / total).tolist()
+                cop_l = np.where(
+                    flags < 0, np.asarray(ind_l) <= 0.5, flags == 1
+                ).tolist()
+                early_l = (flags >= 0).tolist()
+                new_decision = object.__new__
+                new_posterior = tuple.__new__
+                for i in range(len(s1_l)):
+                    decision = new_decision(PairDecision)
+                    decision.__dict__.update({
+                        "c_fwd": cf_l[i],
+                        "c_bwd": cb_l[i],
+                        "posterior": new_posterior(
+                            CopyPosterior, (ind_l[i], fwd_l[i], bwd_l[i])
+                        ),
+                        "copying": cop_l[i],
+                        "early": early_l[i],
+                    })
+                    decisions[(s1_l[i], s2_l[i])] = decision
+        else:
+            # Ascending slots iterate in ascending key order in both
+            # layouts (sparse slots are sorted-key ranks), so the
+            # result dicts are populated in the same order as the dense
+            # path always was.
+            s1_live, s2_live = self.space.decode(live_slots)
+            slots_l = live_slots.tolist()
+            s1_l = s1_live.tolist()
+            s2_l = s2_live.tolist()
+            status_l = status_live.tolist()
+            l_list = self.l_arr[live_slots].tolist()
+            c0f_list = self.c0_fwd[live_slots].tolist()
+            c0b_list = self.c0_bwd[live_slots].tolist()
+            n0_list = self.n0[live_slots].tolist()
+            n_aft_list = self.n_after[live_slots].tolist()
+            for i, key in enumerate(slots_l):
+                pair = (s1_l[i], s2_l[i])
+                l_shared = l_list[i]
+                c0f = c0f_list[i]
+                c0b = c0b_list[i]
+                if status_l[i] in (_ACTIVE, _EXACT):
+                    # Scan-end resolution (Step IV): contribution.
+                    # posterior inlined with the logs hoisted —
+                    # identical operations in identical order, so the
+                    # floats match the reference bit for bit.
+                    cost.score_update(2)
+                    n0 = n0_list[i]
+                    penalty = (l_shared - n0) * ln_diff
+                    c_fwd = c0f + penalty
+                    c_bwd = c0b + penalty
+                    t1 = la + c_fwd
+                    t2 = la + c_bwd
+                    shift = lb
+                    if t1 > shift:
+                        shift = t1
+                    if t2 > shift:
+                        shift = t2
+                    e0 = exp(lb - shift)
+                    e1 = exp(t1 - shift)
+                    e2 = exp(t2 - shift)
+                    total = e0 + e1 + e2
+                    post = CopyPosterior(
+                        independent=e0 / total,
+                        forward=e1 / total,
+                        backward=e2 / total,
+                    )
+                    decision = PairDecision(
+                        c_fwd=c_fwd,
+                        c_bwd=c_bwd,
+                        posterior=post,
+                        copying=post.copying,
+                        early=False,
+                    )
+                    decision_pos = end_position
+                    n_before = n0
+                    n_aft = 0
+                else:
+                    decision, decision_pos, n_before = self.done[key]
+                    n_aft = n_aft_list[i]
+                decisions[pair] = decision
                 n_total = n_before + n_aft
                 base_penalty = (l_shared - n_total) * ln_diff
                 bookkeeping[pair] = PairBookkeeping(
@@ -785,12 +989,15 @@ class EpochScan:
         """
         from .bound import PrefixScanState
 
-        n = self.n_sources
         active: dict[tuple[int, int], tuple[float, float, int]] = {}
         exact: dict[tuple[int, int], tuple[float, float, int]] = {}
-        for key in np.nonzero(self.status)[0].tolist():
+        live_slots = np.nonzero(self.status)[0]
+        s1_live, s2_live = self.space.decode(live_slots)
+        for key, s1, s2 in zip(
+            live_slots.tolist(), s1_live.tolist(), s2_live.tolist()
+        ):
             state = int(self.status[key])
-            pair = divmod(key, n)
+            pair = (s1, s2)
             if state == _ACTIVE:
                 active[pair] = (
                     float(self.c0_fwd[key]),
@@ -803,7 +1010,19 @@ class EpochScan:
                     float(self.c0_bwd[key]),
                     int(self.n0[key]),
                 )
-        done = {divmod(key, n): rec[0] for key, rec in self.done.items()}
+        if self.done:
+            done_slots = np.fromiter(
+                self.done.keys(), np.int64, count=len(self.done)
+            )
+            ds1, ds2 = self.space.decode(done_slots)
+            done = {
+                (a, b): rec[0]
+                for a, b, rec in zip(
+                    ds1.tolist(), ds2.tolist(), self.done.values()
+                )
+            }
+        else:
+            done = {}
         return PrefixScanState(
             active=active,
             exact=exact,

@@ -80,6 +80,7 @@ def detect(
     backend: str | None = None,
     epoch_size: int | None = None,
     workspace=None,
+    pair_layout: str | None = None,
 ) -> DetectionResult:
     """Run one copy-detection round with the named algorithm.
 
@@ -106,6 +107,10 @@ def detect(
             numpy backend the round's columnar entries are assembled
             from its frozen provider skeleton (one vectorized gather)
             instead of re-columnarizing the index with Python loops.
+        pair_layout: overrides ``params.pair_layout``
+            (``"auto"``/``"dense"``/``"sparse"``) for this call — the
+            pair-state layout of the numpy kernels (see
+            :mod:`repro.core.pairspace`).
 
     Returns:
         The round's :class:`DetectionResult`, with ``elapsed_seconds``
@@ -118,6 +123,8 @@ def detect(
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
     if backend is not None and backend != params.backend:
         params = replace(params, backend=backend)
+    if pair_layout is not None and pair_layout != params.pair_layout:
+        params = replace(params, pair_layout=pair_layout)
     start = time.perf_counter()
     if method == "pairwise":
         result = detect_pairwise(
@@ -227,11 +234,14 @@ class SingleRoundDetector(_WorkspaceMixin):
         executor: str = "serial",
         reduce: str = "flat",
         partition_by: str = "entries",
+        pair_layout: str | None = None,
     ):
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
         if backend is not None and backend != params.backend:
             params = replace(params, backend=backend)
+        if pair_layout is not None and pair_layout != params.pair_layout:
+            params = replace(params, pair_layout=pair_layout)
         if n_partitions < 1:
             raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
         if n_partitions > 1 and method not in PARALLEL_METHODS:
@@ -391,6 +401,7 @@ class IncrementalDetector(_WorkspaceMixin):
         prepare_round: int = 2,
         backend: str | None = None,
         epoch_size: int | None = None,
+        pair_layout: str | None = None,
     ):
         if backend is not None and backend != params.backend:
             # Routes the from-scratch HYBRID rounds (1, 2 and the
@@ -398,6 +409,8 @@ class IncrementalDetector(_WorkspaceMixin):
             # numpy scan; the bookkeeping it hands to incremental_round
             # is bit-identical to the Python reference's.
             params = replace(params, backend=backend)
+        if pair_layout is not None and pair_layout != params.pair_layout:
+            params = replace(params, pair_layout=pair_layout)
         self.params = params
         self.ordering = ordering
         self.hybrid_threshold = hybrid_threshold

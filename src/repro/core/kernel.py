@@ -24,13 +24,16 @@ computation columnarly:
    arrays and the forward/backward contributions come out of a single
    ``np.log`` per direction over the whole stream — no per-incidence
    Python bytecode at all.
-4. **Flat-array pair accumulation** (:class:`PairTable`): pairs are keyed
-   by the single integer ``s1 * n_sources + s2`` (``s1 < s2``).  The
-   incidence stream is reduced with ``np.unique(keys)`` +
-   ``np.add.at`` into dense per-pair arrays instead of churning a Python
-   dict: ``keys`` holds the sorted unique pair keys and ``c_fwd`` /
-   ``c_bwd`` / ``n_shared`` / ``saw_main`` are aligned with it.  Because
-   the reduction is a plain sum, tables from disjoint entry shares merge
+4. **Compact pair accumulation** (:class:`PairTable`): pairs are keyed
+   by the single integer ``s1 * n_sources + s2`` (``s1 < s2``) and the
+   incidence stream is reduced into compact per-pair arrays by
+   :func:`repro.core.pairspace.reduce_by_key` — a dense ``np.bincount``
+   scatter while the key space fits under :data:`DENSE_KEY_SPACE`, a
+   sort-based ``np.unique`` + ``np.add.at`` beyond it (or on request via
+   ``CopyParams.pair_layout``), with identical floats either way.
+   ``keys`` holds the sorted unique pair keys and ``c_fwd`` / ``c_bwd``
+   / ``n_shared`` / ``saw_main`` are aligned with it.  Because the
+   reduction is a plain sum, tables from disjoint entry shares merge
    associatively (:meth:`PairTable.merge`) — which is exactly what the
    map/reduce engine needs.
 
@@ -53,6 +56,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from .contribution import CopyPosterior
+from .pairspace import encode_pair_keys, reduce_by_key, resolve_pair_layout
 from .params import CopyParams
 from .result import PairDecision
 
@@ -60,10 +64,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..data import Dataset
     from .index import InvertedIndex
 
-#: Largest flat pair-key space (``n_sources ** 2``) reduced with the
-#: dense ``np.bincount`` scatter; beyond it (> ~2k sources) the
-#: sort-based ``np.unique`` + ``np.add.at`` path keeps memory bounded by
-#: the number of *observed* pairs instead.
+#: Largest flat pair-key space (``n_sources ** 2``) the ``"auto"``
+#: layout reduces with the dense ``np.bincount`` scatter; beyond it
+#: (> ~2k sources) :func:`repro.core.pairspace.resolve_pair_layout`
+#: switches — with a logged warning — to the sort-based ``np.unique`` +
+#: ``np.add.at`` layout, which keeps memory bounded by the number of
+#: *observed* pairs instead.
 DENSE_KEY_SPACE = 1 << 22
 
 
@@ -447,58 +453,36 @@ class PairTable:
         bwd: np.ndarray,
         incidence_counts: np.ndarray,
         main: np.ndarray,
+        layout: str = "auto",
     ) -> "PairTable":
         """Scatter-add a keyed stream into compact per-pair arrays.
 
-        Two strategies, same result:
-
-        * **dense** (``n_sources**2 <= DENSE_KEY_SPACE``): scatter
-          directly into the full flat key space with ``np.bincount`` and
-          compact the occupied slots — no sort, O(stream + key space);
-        * **sparse**: ``np.unique`` compacts the keys first and the sums
-          land via ``np.add.at`` on the compacted arrays.
-
-        Either way this is the vectorized replacement for the Python
-        backend's per-incidence dict churn (``cell[0] += ...``).
+        The grouping is :func:`repro.core.pairspace.reduce_by_key` —
+        dense ``np.bincount`` under :data:`DENSE_KEY_SPACE`, sparse
+        ``np.unique`` + ``np.add.at`` beyond it (or on request), with
+        identical floats either way.  Occupancy comes from key
+        *presence*, not incidence counts: merged tables may carry pairs
+        with zero incidences (e.g. PAIRWISE's pure-penalty rows) that
+        must survive.  Either way this is the vectorized replacement for
+        the Python backend's per-incidence dict churn (``cell[0] += ...``).
         """
         if len(keys) == 0:
             return cls.empty(n_sources)
-        key_space = n_sources * n_sources
+        layout = resolve_pair_layout(
+            layout, n_sources, DENSE_KEY_SPACE, "kernel.PairTable"
+        )
         main_f = main.astype(np.float64)
         counts_f = incidence_counts.astype(np.float64)
-        if key_space <= DENSE_KEY_SPACE:
-            # Occupancy comes from key *presence*, not incidence counts:
-            # merged tables may carry pairs with zero incidences (e.g.
-            # PAIRWISE's pure-penalty rows) that must survive.
-            present = np.bincount(keys, minlength=key_space)
-            uniq = np.nonzero(present)[0]
-            c_fwd = np.bincount(keys, weights=fwd, minlength=key_space)[uniq]
-            c_bwd = np.bincount(keys, weights=bwd, minlength=key_space)[uniq]
-            n_shared = np.bincount(keys, weights=counts_f, minlength=key_space)[
-                uniq
-            ].astype(np.int64)
-            saw_main = (
-                np.bincount(keys, weights=main_f, minlength=key_space)[uniq] > 0.0
-            )
-        else:
-            uniq, inverse = np.unique(keys, return_inverse=True)
-            c_fwd = np.zeros(len(uniq))
-            c_bwd = np.zeros(len(uniq))
-            np.add.at(c_fwd, inverse, fwd)
-            np.add.at(c_bwd, inverse, bwd)
-            n_shared = np.zeros(len(uniq))
-            np.add.at(n_shared, inverse, counts_f)
-            n_shared = n_shared.astype(np.int64)
-            saw_main = np.zeros(len(uniq))
-            np.add.at(saw_main, inverse, main_f)
-            saw_main = saw_main > 0.0
+        uniq, (c_fwd, c_bwd, n_shared, saw_main) = reduce_by_key(
+            n_sources, keys, (fwd, bwd, counts_f, main_f), layout
+        )
         return cls(
             n_sources=n_sources,
             keys=uniq,
             c_fwd=c_fwd,
             c_bwd=c_bwd,
-            n_shared=n_shared,
-            saw_main=saw_main,
+            n_shared=n_shared.astype(np.int64),
+            saw_main=saw_main > 0.0,
         )
 
     @classmethod
@@ -509,14 +493,23 @@ class PairTable:
         fwd: np.ndarray,
         bwd: np.ndarray,
         main: np.ndarray,
+        layout: str = "auto",
     ) -> "PairTable":
         """Reduce an incidence stream to per-pair accumulators."""
         return cls._reduce_keyed(
-            n_sources, keys, fwd, bwd, np.ones(len(keys), dtype=np.int64), main
+            n_sources,
+            keys,
+            fwd,
+            bwd,
+            np.ones(len(keys), dtype=np.int64),
+            main,
+            layout=layout,
         )
 
     @classmethod
-    def merge(cls, tables: Sequence["PairTable"]) -> "PairTable":
+    def merge(
+        cls, tables: Sequence["PairTable"], layout: str = "auto"
+    ) -> "PairTable":
         """Associatively merge partial tables (the engine's reduce step)."""
         tables = [t for t in tables if len(t)]
         if not tables:
@@ -533,6 +526,7 @@ class PairTable:
             np.concatenate([t.c_bwd for t in tables]),
             np.concatenate([t.n_shared for t in tables]),
             np.concatenate([t.saw_main for t in tables]),
+            layout=layout,
         )
 
     def pairs(self) -> list[tuple[int, int]]:
@@ -556,11 +550,15 @@ def scan_columnar(
     src1, src2, probs, main = expand_incidences(cols)
     acc = clamp_accuracies(accuracies, params)
     fwd, bwd = score_incidences(probs, acc[src1], acc[src2], params)
-    keys = src1 * np.int64(n_sources) + src2
-    return PairTable.from_incidences(n_sources, keys, fwd, bwd, main)
+    keys = encode_pair_keys(src1, src2, n_sources)
+    return PairTable.from_incidences(
+        n_sources, keys, fwd, bwd, main, layout=params.pair_layout
+    )
 
 
-def count_shared_items_columnar(dataset: "Dataset") -> dict[tuple[int, int], int]:
+def count_shared_items_columnar(
+    dataset: "Dataset", layout: str = "auto"
+) -> dict[tuple[int, int], int]:
     """Vectorized ``l(S1, S2)`` counting (see :func:`repro.simjoin.count_shared_items`).
 
     Items play the role of entries: each item's provider set expands to
@@ -580,10 +578,12 @@ def count_shared_items_columnar(dataset: "Dataset") -> dict[tuple[int, int], int
     )
     src1, src2, _, _ = expand_incidences(cols, with_meta=False)
     n_sources = dataset.n_sources
-    keys = src1 * np.int64(n_sources) + src2
-    key_space = n_sources * n_sources
-    if key_space <= DENSE_KEY_SPACE:
-        dense = np.bincount(keys, minlength=key_space)
+    keys = encode_pair_keys(src1, src2, n_sources)
+    layout = resolve_pair_layout(
+        layout, n_sources, DENSE_KEY_SPACE, "kernel.count_shared_items_columnar"
+    )
+    if layout == "dense":
+        dense = np.bincount(keys, minlength=n_sources * n_sources)
         uniq = np.nonzero(dense)[0]
         counts = dense[uniq]
     else:

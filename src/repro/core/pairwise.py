@@ -155,7 +155,7 @@ def _detect_pairwise_numpy(
             n_shared=np.zeros(len(missing), dtype=np.int64),
             saw_main=np.ones(len(missing), dtype=bool),
         )
-        table = PairTable.merge([table, zeros])
+        table = PairTable.merge([table, zeros], layout=params.pair_layout)
     decisions = decide_pairs(table, shared_items, params, require_main=False)
     total_shared = sum(shared_items.values())
     cost = CostCounter(

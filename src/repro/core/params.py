@@ -39,6 +39,15 @@ REDUCE_MODES = ("flat", "tree")
 #: (see :mod:`repro.parallel.partition`).
 PARTITION_AXES = ("entries", "work")
 
+#: Pair-state layouts accepted by :attr:`CopyParams.pair_layout`:
+#: ``"dense"`` allocates flat arrays over the full ``n_sources ** 2``
+#: key space, ``"sparse"`` compacts state to the observed pairs
+#: (:mod:`repro.core.pairspace`), and ``"auto"`` picks dense below each
+#: kernel's documented limit and sparse above it — with a logged
+#: warning, never a silent fallback.  Defined alongside :data:`BACKENDS`
+#: so validation stays NumPy-free.
+PAIR_LAYOUTS = ("auto", "dense", "sparse")
+
 
 @dataclass(frozen=True)
 class CopyParams:
@@ -70,6 +79,15 @@ class CopyParams:
             anchor forever (``repro conformance`` diffs every
             configuration against it; the golden fixtures pin it
             byte-for-byte).
+        pair_layout: pair-state layout for the numpy kernels.  ``"auto"``
+            (the default) keeps the dense flat-array fast path while
+            ``n_sources ** 2`` fits under the kernel's documented limit
+            and switches to the sparse observed-pair layout
+            (:mod:`repro.core.pairspace`) beyond it, logging the switch;
+            ``"dense"`` / ``"sparse"`` force a layout.  Both layouts are
+            bit-identical for the bound family and agree at the usual
+            1e-9 for the exhaustive/fusion kernels; the python backend
+            ignores the knob (its dict state is inherently sparse).
     """
 
     alpha: float = 0.1
@@ -77,6 +95,7 @@ class CopyParams:
     n: int = 50
     accuracy_clamp: float = 0.005
     backend: str = "numpy"
+    pair_layout: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha < 0.5:
@@ -92,6 +111,11 @@ class CopyParams:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.pair_layout not in PAIR_LAYOUTS:
+            raise ValueError(
+                f"pair_layout must be one of {PAIR_LAYOUTS}, "
+                f"got {self.pair_layout!r}"
             )
 
     @property

@@ -23,16 +23,22 @@ columnarly:
    stream (which accumulates in stream order, i.e. in the reference's
    per-value provider order — structural vote-count ties are therefore
    preserved exactly, so tie-broken truth choices match the reference).
-3. **ACCUCOPY discounts** (:func:`independence_weight_stream`): the
-   detection result is densified into an ``n_sources x n_sources``
-   directed copy-probability matrix; values are grouped by provider
-   count ``k``, each group's providers are rank-sorted by accuracy with
-   one stable ``argsort``, and every provider's independence weight
+3. **ACCUCOPY discounts** (:func:`independence_weight_stream`): values
+   are grouped by provider count ``k``, each group's providers are
+   rank-sorted by accuracy with one stable ``argsort``, and every
+   provider's independence weight
    ``I(S) = prod_{S' above S} (1 - s Pr(S -> S'))`` is a masked
-   row-product over the ``k x k`` matrix gather.  Worlds whose
-   ``n_sources ** 2`` exceeds :data:`DENSE_MATRIX_LIMIT` (where the
-   dense matrix would cost gigabytes) fall back to the reference
-   per-value weight loop — the rest of the round stays vectorized.
+   row-product over a ``k x k`` copy-probability gather.  The gather's
+   backing store is picked by ``CopyParams.pair_layout``: dense worlds
+   densify the detection result into an ``n_sources x n_sources``
+   matrix, while worlds whose ``n_sources ** 2`` exceeds
+   :data:`DENSE_MATRIX_LIMIT` (where the dense matrix would cost
+   gigabytes) keep only the *decided* pairs in a sorted-key
+   :class:`~repro.core.pairspace.PairValueMap` and gather with
+   ``np.searchsorted`` — identical floats, memory bounded by the
+   decision count.  (The former behaviour — silently falling back to
+   the reference per-value weight loop — is retired; the switch is
+   logged.)
 4. **Per-item softmax**: vote counts are permuted into the item-sorted
    layout and the max-shift, exponential sums and normalisation run as
    segment reductions (``np.maximum.reduceat`` / ``np.add.reduceat``)
@@ -54,6 +60,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from ..core.pairspace import PairValueMap, resolve_pair_layout
 from ..core.params import CopyParams
 from ..core.result import DetectionResult
 
@@ -61,9 +68,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..data import Dataset
 
 #: Largest dense copy-probability matrix (``n_sources ** 2`` floats) the
-#: ACCUCOPY discount path will allocate; beyond it (> ~2k sources) the
-#: per-value reference loop computes the weights instead, keeping memory
-#: bounded by the number of *decided* pairs.
+#: ``"auto"`` layout will allocate for the ACCUCOPY discount gather;
+#: beyond it (> ~2k sources) the sparse sorted-key lookup
+#: (:func:`sparse_copy_probabilities`) serves the same gather — with a
+#: logged warning — keeping memory bounded by the number of *decided*
+#: pairs.
 DENSE_MATRIX_LIMIT = 1 << 22
 
 
@@ -196,6 +205,22 @@ def copy_probability_matrix(
     return matrix
 
 
+def sparse_copy_probabilities(
+    detection: DetectionResult, n_sources: int
+) -> PairValueMap:
+    """The sparse counterpart of :func:`copy_probability_matrix`.
+
+    Stores only the decided pairs (two directed entries each); lookups
+    of never-opened pairs — and the diagonal — read 0, exactly like the
+    dense matrix's untouched zeros.
+    """
+    items: list[tuple[tuple[int, int], float]] = []
+    for (s1, s2), decision in detection.decisions.items():
+        items.append(((s1, s2), decision.posterior.forward))
+        items.append(((s2, s1), decision.posterior.backward))
+    return PairValueMap.from_items(n_sources, items)
+
+
 def independence_weight_stream(
     cols: FusionColumns,
     accuracies: np.ndarray,
@@ -213,27 +238,25 @@ def independence_weight_stream(
 
     Values are grouped by provider count ``k`` so the ranking is one
     stable ``argsort`` per group and the triangular product is one masked
-    ``prod`` over a ``(group, k, k)`` gather of the dense matrix.  When
-    ``n_sources ** 2 > DENSE_MATRIX_LIMIT`` the dense gather would not
-    fit; the documented fallback computes the same weights with the
-    reference loop, value by value, and the remainder of the round stays
-    vectorized.
+    ``prod`` over a ``(group, k, k)`` copy-probability gather.  The
+    gather reads either the dense matrix or the sparse decided-pair
+    lookup, per ``params.pair_layout`` (``"auto"`` goes sparse — with a
+    logged warning — when ``n_sources ** 2 > DENSE_MATRIX_LIMIT``, where
+    the dense matrix would not fit); unobserved pairs read 0 either way,
+    so the factors are identical floats.
     """
     weights = np.ones(len(cols.prov_sources))
     counts = np.diff(cols.prov_offsets)
-    if int(cols.n_sources) ** 2 > DENSE_MATRIX_LIMIT:
-        from .accu import independence_weights
-
-        acc_list = [float(a) for a in accuracies]
-        for value_id in np.nonzero(counts >= 2)[0]:
-            lo, hi = cols.prov_offsets[value_id], cols.prov_offsets[value_id + 1]
-            providers = cols.prov_sources[lo:hi].tolist()
-            weights[lo:hi] = independence_weights(
-                providers, acc_list, detection, params
-            )
-        return weights
-
-    matrix = copy_probability_matrix(detection, cols.n_sources)
+    layout = resolve_pair_layout(
+        params.pair_layout,
+        cols.n_sources,
+        DENSE_MATRIX_LIMIT,
+        "accu_kernel.independence_weight_stream",
+    )
+    if layout == "dense":
+        matrix = copy_probability_matrix(detection, cols.n_sources)
+    else:
+        probs_map = sparse_copy_probabilities(detection, cols.n_sources)
     s = params.s
     for k in np.unique(counts):
         if k < 2:
@@ -246,7 +269,11 @@ def independence_weight_stream(
         ranked = np.take_along_axis(provs, order, axis=1)
         # factors[r, i, j] = 1 - s * Pr(ranked_i -> ranked_j) for j < i;
         # everything on or above the diagonal multiplies as 1.
-        factors = 1.0 - s * matrix[ranked[:, :, None], ranked[:, None, :]]
+        if layout == "dense":
+            gathered = matrix[ranked[:, :, None], ranked[:, None, :]]
+        else:
+            gathered = probs_map.gather(ranked[:, :, None], ranked[:, None, :])
+        factors = 1.0 - s * gathered
         below = np.tril(np.ones((k, k), dtype=bool), -1)
         ranked_weights = np.where(below[None, :, :], factors, 1.0).prod(axis=2)
         unranked = np.empty_like(ranked_weights)

@@ -224,11 +224,12 @@ def _merge_partials(partials: Sequence[_Partial], reduce_mode: ReduceMode) -> _P
     return merged
 
 
-def _merge_tables(tables, reduce_mode: ReduceMode):
+def _merge_tables(tables, reduce_mode: ReduceMode, layout: str = "auto"):
     """Merge :class:`PairTable` partials; None when all are empty.
 
     ``"flat"`` concatenates every table and reduces once; ``"tree"``
-    runs :func:`_tree_reduce` over them.
+    runs :func:`_tree_reduce` over them.  ``layout`` is the pair-state
+    layout of the reduction (``params.pair_layout`` at the call sites).
     """
     from ..core.kernel import PairTable
 
@@ -236,8 +237,10 @@ def _merge_tables(tables, reduce_mode: ReduceMode):
     if not live:
         return None
     if reduce_mode == "tree":
-        return _tree_reduce(live, lambda a, b: PairTable.merge([a, b]))
-    return PairTable.merge(live)
+        return _tree_reduce(
+            live, lambda a, b: PairTable.merge([a, b], layout=layout)
+        )
+    return PairTable.merge(live, layout=layout)
 
 
 # ----------------------------------------------------------------------
@@ -439,7 +442,7 @@ def _detect_parallel_numpy(
         index, partitions, accuracies, params, n_sources, executor,
         workspace=workspace,
     )
-    merged = _merge_tables(tables, reduce_mode)
+    merged = _merge_tables(tables, reduce_mode, layout=params.pair_layout)
     cost = CostCounter()
     if merged is None:
         return DetectionResult(
@@ -594,7 +597,7 @@ def detect_hybrid_parallel(
                 index, suffix_parts, accuracies, params, dataset.n_sources,
                 executor, workspace=workspace,
             )
-            table = _merge_tables(tables, reduce)
+            table = _merge_tables(tables, reduce, layout=params.pair_layout)
             if table is not None:
                 for pair, c_fwd, c_bwd, n_shared, saw_main in zip(
                     table.pairs(),

@@ -320,27 +320,65 @@ class TestGoldenFixtures:
         assert any(book["early"] for book in golden["hybrid_bookkeeping"])
 
 
-class TestBackendFallback:
-    def test_oversized_key_space_falls_back(self, monkeypatch):
-        """Worlds beyond the dense-state limit use the reference loop."""
+class TestOversizedKeySpace:
+    """Beyond the dense-state limit the scan stays vectorized — sparse.
+
+    The pre-PR-6 behaviour (a *silent* fallback to the pure-Python
+    reference loop) is retired: ``"auto"`` switches to the sparse
+    observed-pair layout, logs the switch, and stays bit-identical.
+    """
+
+    def test_auto_goes_sparse_and_logs(self, monkeypatch, caplog):
+        import logging
+
         import repro.core.bound as bound_module
         from repro.core import bound_kernel
         from tests.strategies import shared_run_world
 
         monkeypatch.setattr(bound_kernel, "DENSE_STATE_LIMIT", 1)
-        calls = {"numpy": 0}
-
-        def boom(*args, **kwargs):  # pragma: no cover - must not run
-            calls["numpy"] += 1
-            raise AssertionError("dense scan must not run above the limit")
-
-        monkeypatch.setattr(bound_kernel, "scan_with_bounds_numpy", boom)
         dataset, probs, accs = shared_run_world(3, 0.05)
-        result = bound_module.detect_bound_plus(
-            dataset, probs, accs, CopyParams(backend="numpy")
-        )
+        with caplog.at_level(logging.WARNING, logger="repro.core.pairspace"):
+            result = bound_module.detect_bound_plus(
+                dataset, probs, accs, CopyParams(backend="numpy")
+            )
         reference = bound_module.detect_bound_plus(
             dataset, probs, accs, CopyParams(backend="python")
         )
-        assert calls["numpy"] == 0
         assert result.decisions == reference.decisions
+        assert any(
+            "bound_kernel.EpochScan" in rec.message
+            and "sparse" in rec.message
+            for rec in caplog.records
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(world=worlds())
+    def test_forced_sparse_layout_is_bit_identical(self, world):
+        """pair_layout='sparse' reproduces every scan outcome exactly."""
+        dataset, probs, accs = world
+        for label, use_timers, threshold in CONFIGS:
+            reference = scan_with_bounds(
+                dataset,
+                probs,
+                accs,
+                CopyParams(backend="python"),
+                use_timers=use_timers,
+                hybrid_threshold=threshold,
+                track_bookkeeping=True,
+            )
+            sparse = scan_with_bounds(
+                dataset,
+                probs,
+                accs,
+                CopyParams(backend="numpy", pair_layout="sparse"),
+                use_timers=use_timers,
+                hybrid_threshold=threshold,
+                track_bookkeeping=True,
+                epoch_size=3,
+            )
+            assert sparse.result.decisions == reference.result.decisions, label
+            assert sparse.bookkeeping == reference.bookkeeping, label
+            assert (
+                sparse.result.cost.computations
+                == reference.result.cost.computations
+            ), label

@@ -39,9 +39,10 @@ class TestGenerators:
         assert generate_world(0, seed=1).claims != generate_world(0, seed=2).claims
 
     def test_stream_cycles_all_kinds(self):
-        kinds = {generate_world(i, seed=7).kind.split(":")[0] for i in range(14)}
+        kinds = {generate_world(i, seed=7).kind.split(":")[0] for i in range(16)}
         assert kinds == {
-            "random", "adversarial", "shared_run", "profile", "theta_edge"
+            "random", "adversarial", "shared_run", "profile",
+            "large_sparse", "theta_edge",
         }
 
     def test_materialize_is_stable(self):

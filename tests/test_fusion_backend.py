@@ -105,7 +105,8 @@ class TestAccuKernelParity:
                     )
 
     def test_huge_source_fallback_matches_dense_path(self, monkeypatch, params):
-        """Beyond DENSE_MATRIX_LIMIT the per-value loop takes over."""
+        """Beyond DENSE_MATRIX_LIMIT the sparse decided-pair gather
+        takes over (identical floats, no dense matrix)."""
         ds = motivating_example()
         accs = [0.35 + (i % 7) * 0.09 for i in range(ds.n_sources)]
         probs = value_probabilities(ds, accs, params)

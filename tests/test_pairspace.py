@@ -1,0 +1,399 @@
+"""The sparse pair-state layer (PR 6).
+
+Three groups of pins:
+
+* the :mod:`repro.core.pairspace` primitives themselves — key codec,
+  layout resolution (and its warning), slot universes, keyed reduction,
+  the directed-pair value map — including the degenerate shapes (empty
+  worlds, a single observed pair, duplicate incidences);
+* int64 key discipline: ``s1 * n_sources + s2`` must never wrap, pinned
+  end-to-end at ``n_sources > 2**16`` where the key exceeds int32;
+* dense/sparse parity: forcing ``pair_layout`` must not change any
+  verdict — bit-exactly for the bound family, within the property-tested
+  1e-9 re-association tolerance for the exhaustive/index kernels and
+  the ACCUCOPY fusion round.
+"""
+
+import logging
+import random
+
+import numpy as np
+import pytest
+
+from repro.conformance.generators import (
+    RandomChooser,
+    large_sparse_world,
+    random_world,
+)
+from repro.core import METHODS, CopyParams, IncrementalDetector, detect
+from repro.core.pairspace import (
+    PairSpace,
+    PairValueMap,
+    decode_pair_keys,
+    encode_pair_keys,
+    reduce_by_key,
+    resolve_pair_layout,
+)
+from repro.data import DatasetBuilder
+
+NUMERIC_TOL = 1e-9
+
+#: Methods whose sparse run must equal the dense run bit-for-bit: their
+#: scans fold contributions in entry-stream order in both layouts.
+BITEXACT_METHODS = ("bound", "bound+", "hybrid")
+
+
+def sparse_problem(seed: int, n_sources: int = 30, n_items: int = 12):
+    """A deterministic downsized Zipf-coverage world."""
+    world = large_sparse_world(
+        RandomChooser(random.Random(seed)),
+        n_sources=n_sources,
+        n_items=n_items,
+    )
+    return world.materialize()
+
+
+# ----------------------------------------------------------------------
+# Key codec
+# ----------------------------------------------------------------------
+class TestKeyCodec:
+    def test_round_trip(self):
+        s1 = np.array([0, 1, 3, 7])
+        s2 = np.array([1, 2, 5, 8])
+        keys = encode_pair_keys(s1, s2, 9)
+        assert keys.dtype == np.int64
+        d1, d2 = decode_pair_keys(keys, 9)
+        np.testing.assert_array_equal(d1, s1)
+        np.testing.assert_array_equal(d2, s2)
+
+    def test_keys_stay_int64_beyond_two_pow_sixteen_sources(self):
+        # At 70k sources the largest key is ~4.9e9 > 2**32: an int32
+        # product would wrap.  The codec must widen whatever it is fed.
+        n = 70_000
+        s1 = np.array([0, 1, n - 2], dtype=np.int32)
+        s2 = np.array([1, 2, n - 1], dtype=np.int32)
+        keys = encode_pair_keys(s1, s2, n)
+        assert keys.dtype == np.int64
+        assert keys[-1] == (n - 2) * n + (n - 1)
+        assert keys[-1] > 2**32
+        d1, d2 = decode_pair_keys(keys, n)
+        np.testing.assert_array_equal(d1, s1.astype(np.int64))
+        np.testing.assert_array_equal(d2, s2.astype(np.int64))
+
+    def test_python_int_inputs(self):
+        keys = encode_pair_keys([2], [3], 5)
+        assert keys.dtype == np.int64
+        assert keys[0] == 13
+
+
+# ----------------------------------------------------------------------
+# Layout resolution
+# ----------------------------------------------------------------------
+class TestResolvePairLayout:
+    def test_explicit_layouts_honoured_unconditionally(self):
+        assert resolve_pair_layout("dense", 10**6, 4, "k") == "dense"
+        assert resolve_pair_layout("sparse", 2, 4**9, "k") == "sparse"
+
+    def test_auto_dense_below_limit(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.core.pairspace"):
+            assert resolve_pair_layout("auto", 10, 100, "k") == "dense"
+        assert not caplog.records
+
+    def test_auto_sparse_above_limit_warns(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.core.pairspace"):
+            layout = resolve_pair_layout("auto", 11, 100, "some.kernel")
+        assert layout == "sparse"
+        [record] = caplog.records
+        assert "some.kernel" in record.getMessage()
+        assert "121" in record.getMessage()
+        assert "sparse" in record.getMessage()
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError, match="pair_layout"):
+            resolve_pair_layout("columnar", 10, 100, "k")
+
+    def test_params_reject_unknown_layout(self):
+        with pytest.raises(ValueError, match="pair_layout"):
+            CopyParams(pair_layout="columnar")
+
+
+# ----------------------------------------------------------------------
+# PairSpace
+# ----------------------------------------------------------------------
+class TestPairSpace:
+    def test_dense_identity(self):
+        space = PairSpace.dense(4)
+        assert len(space) == 16
+        keys = np.array([3, 7, 11])
+        np.testing.assert_array_equal(space.slots(keys), keys)
+        np.testing.assert_array_equal(space.slot_keys(keys), keys)
+        s1, s2 = space.decode(np.array([7]))
+        assert (s1[0], s2[0]) == (1, 3)
+
+    def test_sparse_collapses_duplicates_and_sorts(self):
+        space = PairSpace.from_keys(6, np.array([13, 7, 13, 31, 7]))
+        assert space.layout == "sparse"
+        np.testing.assert_array_equal(space.keys, [7, 13, 31])
+        assert len(space) == 3
+        np.testing.assert_array_equal(
+            space.slots(np.array([7, 31, 13, 13])), [0, 2, 1, 1]
+        )
+        np.testing.assert_array_equal(
+            space.slot_keys(np.array([2, 0])), [31, 7]
+        )
+
+    def test_from_pairs_matches_from_keys(self):
+        pairs = [(1, 3), (0, 2), (1, 3)]
+        a = PairSpace.from_pairs(5, pairs)
+        b = PairSpace.from_keys(5, np.array([8, 2, 8]))
+        np.testing.assert_array_equal(a.keys, b.keys)
+
+    def test_empty_sparse_space(self):
+        space = PairSpace.from_pairs(100, [])
+        assert len(space) == 0
+        assert space.zeros().shape == (0,)
+        assert space.slots(np.array([], dtype=np.int64)).shape == (0,)
+
+    def test_single_observed_pair(self):
+        space = PairSpace.from_pairs(50_000, [(17, 40_123)])
+        assert len(space) == 1
+        slot = space.slots(encode_pair_keys([17], [40_123], 50_000))
+        assert slot[0] == 0
+        s1, s2 = space.decode(slot)
+        assert (s1[0], s2[0]) == (17, 40_123)
+
+    def test_zeros_dtype(self):
+        space = PairSpace.from_keys(4, np.array([5]))
+        assert space.zeros(dtype=np.int8).dtype == np.int8
+        assert space.zeros().dtype == np.float64
+
+    def test_invalid_constructions(self):
+        with pytest.raises(ValueError, match="observed keys"):
+            PairSpace(4, "sparse")
+        with pytest.raises(ValueError, match="layout"):
+            PairSpace(4, "auto")
+
+    def test_sparse_slots_monotone_in_key(self):
+        # The bit-exactness of the sparse bound scan rests on this:
+        # slot order == key order, so key-sorted iteration is identical
+        # in both layouts.
+        rng = np.random.default_rng(3)
+        keys = rng.choice(10_000, size=200, replace=False)
+        space = PairSpace.from_keys(100, keys)
+        slots = space.slots(np.sort(keys.astype(np.int64)))
+        np.testing.assert_array_equal(slots, np.arange(len(keys)))
+
+
+# ----------------------------------------------------------------------
+# reduce_by_key
+# ----------------------------------------------------------------------
+class TestReduceByKey:
+    def test_layouts_agree_bit_for_bit(self):
+        rng = np.random.default_rng(11)
+        n_sources = 40
+        keys = rng.integers(0, n_sources * n_sources, size=500).astype(np.int64)
+        cols = [rng.standard_normal(500), rng.standard_normal(500)]
+        uniq_d, sums_d = reduce_by_key(n_sources, keys, cols, "dense")
+        uniq_s, sums_s = reduce_by_key(n_sources, keys, cols, "sparse")
+        np.testing.assert_array_equal(uniq_d, uniq_s)
+        for dense_col, sparse_col in zip(sums_d, sums_s):
+            np.testing.assert_array_equal(dense_col, sparse_col)
+
+    def test_duplicate_incidences_collapse(self):
+        keys = np.array([5, 5, 5, 2], dtype=np.int64)
+        col = np.array([1.0, 2.0, 4.0, 8.0])
+        for layout in ("dense", "sparse"):
+            uniq, (sums,) = reduce_by_key(3, keys, [col], layout)
+            np.testing.assert_array_equal(uniq, [2, 5])
+            np.testing.assert_array_equal(sums, [8.0, 7.0])
+
+    def test_zero_weight_rows_survive(self):
+        # Presence comes from key occurrence, not weight: a pair whose
+        # contributions sum to zero must still be reported.
+        keys = np.array([4, 4], dtype=np.int64)
+        col = np.array([1.0, -1.0])
+        for layout in ("dense", "sparse"):
+            uniq, (sums,) = reduce_by_key(3, keys, [col], layout)
+            np.testing.assert_array_equal(uniq, [4])
+            np.testing.assert_array_equal(sums, [0.0])
+
+
+# ----------------------------------------------------------------------
+# PairValueMap
+# ----------------------------------------------------------------------
+class TestPairValueMap:
+    def test_gather_hits_and_misses(self):
+        table = PairValueMap.from_items(
+            10, [((1, 2), 0.25), ((2, 1), 0.5), ((7, 3), 0.125)]
+        )
+        got = table.gather(
+            np.array([1, 2, 7, 3, 0]), np.array([2, 1, 3, 7, 0])
+        )
+        np.testing.assert_array_equal(got, [0.25, 0.5, 0.125, 0.0, 0.0])
+
+    def test_empty_map_returns_default(self):
+        table = PairValueMap.from_items(10, [], default=0.75)
+        got = table.gather(np.array([[1, 2]]), np.array([[3, 4]]))
+        np.testing.assert_array_equal(got, [[0.75, 0.75]])
+
+    def test_broadcast_gather_matches_dense_matrix(self):
+        rng = np.random.default_rng(7)
+        n = 30
+        items = []
+        matrix = np.zeros((n, n))
+        for _ in range(40):
+            src, dst = rng.integers(0, n, size=2)
+            value = float(rng.random())
+            matrix[src, dst] = value
+            items.append(((int(src), int(dst)), value))
+        # Later duplicates overwrite in the matrix; drop them from the
+        # sparse build the same way.
+        last = {pair: value for pair, value in items}
+        table = PairValueMap.from_items(n, last.items())
+        ranked = rng.integers(0, n, size=(5, 4))
+        dense = matrix[ranked[:, :, None], ranked[:, None, :]]
+        sparse = table.gather(ranked[:, :, None], ranked[:, None, :])
+        np.testing.assert_array_equal(dense, sparse)
+
+
+# ----------------------------------------------------------------------
+# Dense/sparse parity across the detection methods
+# ----------------------------------------------------------------------
+class TestLayoutParity:
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_forced_layouts_agree(self, method, seed):
+        dataset, probs, accs = sparse_problem(seed)
+        params = CopyParams(backend="numpy")
+        dense = detect(dataset, probs, accs, params, method=method,
+                       pair_layout="dense")
+        sparse = detect(dataset, probs, accs, params, method=method,
+                        pair_layout="sparse")
+        assert set(dense.decisions) == set(sparse.decisions)
+        if method in BITEXACT_METHODS:
+            assert dense.decisions == sparse.decisions
+            assert dense.cost.computations == sparse.cost.computations
+            return
+        for pair, dense_decision in dense.decisions.items():
+            sparse_decision = sparse.decisions[pair]
+            assert sparse_decision.copying == dense_decision.copying
+            assert sparse_decision.c_fwd == pytest.approx(
+                dense_decision.c_fwd, abs=NUMERIC_TOL
+            )
+            assert sparse_decision.c_bwd == pytest.approx(
+                dense_decision.c_bwd, abs=NUMERIC_TOL
+            )
+
+    def test_incremental_rounds_agree(self):
+        dataset, probs, accs = sparse_problem(9)
+        runs = {}
+        for layout in ("dense", "sparse"):
+            detector = IncrementalDetector(
+                CopyParams(backend="numpy", pair_layout=layout)
+            )
+            runs[layout] = [
+                detector.run_round(round_no, dataset, probs, accs).decisions
+                for round_no in (1, 2, 3)
+            ]
+        assert runs["dense"] == runs["sparse"]
+
+    def test_accucopy_fusion_round_agrees(self):
+        import repro.fusion.accu_kernel as ak
+
+        dataset, probs, accs = sparse_problem(4)
+        detection = detect(
+            dataset, probs, accs, CopyParams(backend="numpy"), method="index"
+        )
+        cols = ak.FusionColumns.from_dataset(dataset)
+        out = {}
+        for layout in ("dense", "sparse"):
+            params = CopyParams(backend="numpy", pair_layout=layout)
+            out[layout] = ak.value_probabilities_columnar(
+                cols, np.asarray(accs), params, detection
+            )
+        np.testing.assert_allclose(
+            out["sparse"], out["dense"], atol=NUMERIC_TOL, rtol=0.0
+        )
+
+    def test_empty_world_all_methods(self):
+        builder = DatasetBuilder()
+        for source_id in range(5):
+            builder.ensure_source(f"S{source_id}")
+        dataset = builder.build()
+        for method in METHODS:
+            for layout in ("dense", "sparse"):
+                result = detect(
+                    dataset, [], [0.8] * 5,
+                    CopyParams(backend="numpy", pair_layout=layout),
+                    method=method,
+                )
+                assert result.decisions == {}
+
+    def test_single_observed_pair_world(self):
+        builder = DatasetBuilder()
+        for source_id in range(40):
+            builder.ensure_source(f"S{source_id}")
+        builder.add("S3", "item0", "v0")
+        builder.add("S27", "item0", "v0")
+        dataset = builder.build()
+        probs = [0.4] * dataset.n_values
+        accs = [0.8] * 40
+        for method in METHODS:
+            reference = detect(
+                dataset, probs, accs, CopyParams(backend="python"),
+                method=method,
+            )
+            result = detect(
+                dataset, probs, accs,
+                CopyParams(backend="numpy", pair_layout="sparse"),
+                method=method,
+            )
+            # The python reference decides the same pairs (pairwise sees
+            # the shared item; the index methods agree either way).
+            assert set(result.decisions) == set(reference.decisions)
+        pairwise = detect(
+            dataset, probs, accs,
+            CopyParams(backend="numpy", pair_layout="sparse"),
+            method="pairwise",
+        )
+        assert set(pairwise.decisions) == {(3, 27)}
+
+
+# ----------------------------------------------------------------------
+# int64 keys end-to-end past 2**16 sources
+# ----------------------------------------------------------------------
+class TestHugeSourceIds:
+    def test_detect_beyond_two_pow_sixteen_sources(self):
+        # 70k sources: the pair key space is ~4.9e9 (> 2**32), so any
+        # int32 arithmetic in the keying would wrap and alias pairs.
+        # Auto must pick the sparse layout and the numpy scans must
+        # match the python reference on the handful of observed pairs.
+        n = 70_000
+        builder = DatasetBuilder()
+        for source_id in range(n):
+            builder.ensure_source(f"S{source_id}")
+        claimants = [0, 1, 2, n - 3, n - 2, n - 1]
+        for source_id in claimants:
+            builder.add(f"S{source_id}", "item0", "v0")
+            builder.add(f"S{source_id}", "item1", f"v{source_id % 2}")
+        dataset = builder.build()
+        probs = [0.3] * dataset.n_values
+        accs = [0.8] * n
+
+        reference = detect(
+            dataset, probs, accs, CopyParams(backend="python"), method="bound+"
+        )
+        for method in ("index", "bound+"):
+            result = detect(
+                dataset, probs, accs, CopyParams(backend="numpy"),
+                method=method,
+            )
+            assert set(result.decisions) == set(reference.decisions)
+            # Every decided pair must involve the actual claimants —
+            # an int32 wrap would alias keys into other source ids.
+            for s1, s2 in result.decisions:
+                assert s1 in claimants and s2 in claimants
+        numpy_result = detect(
+            dataset, probs, accs, CopyParams(backend="numpy"), method="bound+"
+        )
+        assert numpy_result.decisions == reference.decisions
