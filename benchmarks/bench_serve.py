@@ -1,0 +1,466 @@
+"""Serving benchmark: the verdict store's LRU read API vs recomputation.
+
+The serving layer exists so that answering "is S1 copying from S2?"
+after a fusion run does not mean holding the whole ``DetectionResult``
+hot and re-deriving the three-way posterior on every request.  This
+benchmark measures exactly that trade on a synthetic Zipf world:
+
+* **read_api** — a skewed query workload (hot pairs dominate, a few
+  never-observed pairs mixed in) served two ways: the baseline
+  recomputes each reply from the in-memory ``DetectionResult``
+  (``decision_for`` + ``posterior()`` + reply construction), the
+  contender asks a :class:`~repro.serving.VerdictReader` whose per-view
+  LRU answers hot pairs at C speed.  The recorded ``speedup`` is
+  queries/sec served over queries/sec recomputed — gated at the 10x
+  floor by ``check_regression.py``.
+* **concurrent_refresh** — a writer thread republishes rounds into the
+  store while a reader thread serves the same workload, calling
+  ``refresh()`` periodically; every read is verified against the exact
+  state of the snapshot it claims to come from (precomputed by a dry
+  run — snapshot ids are sequential, so the live store reproduces
+  them).  Recorded: queries/sec and p50/p99 latency *including* the
+  refresh() calls, plus the verification verdict.
+* **delta accounting** — the incremental fusion run that seeded the
+  store must have published delta snapshots whose pair rows are exactly
+  the pairs its bookkeeping re-opened or rebuilt that round
+  (``DetectionResult.decision_delta``), not full rewrites.
+
+``check.passed`` gates all three correctness claims (served replies
+match recomputed ones, concurrent reads verify, deltas are minimal);
+the speedup floor is applied separately by the regression gate.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]
+        [--output PATH]
+
+``--smoke`` shrinks the world and the workload for CI; ``--output``
+redirects the artifact so the committed baseline stays untouched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.core import CopyParams, IncrementalDetector, posterior
+from repro.core.result import DetectionResult, PairDecision
+from repro.fusion import FusionConfig, run_fusion
+from repro.serving import (
+    FLAG_COPYING,
+    SnapshotPublisher,
+    Verdict,
+    VerdictReader,
+    VerdictStore,
+)
+from repro.synth import make_profile
+
+DEFAULT_OUTPUT = Path(__file__).parent / "output" / "BENCH_serve.json"
+
+#: Queries per timing pass (the LRU warms up inside the first pass).
+FULL_QUERIES = 200_000
+SMOKE_QUERIES = 40_000
+
+#: Synthetic republish rounds for the concurrent-refresh section.
+FULL_ROUNDS = 12
+SMOKE_ROUNDS = 6
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _decision(params: CopyParams, c_fwd: float, c_bwd: float) -> PairDecision:
+    post = posterior(c_fwd, c_bwd, params)
+    return PairDecision(
+        c_fwd=c_fwd, c_bwd=c_bwd, posterior=post, copying=post.copying, early=False
+    )
+
+
+def _workload(
+    detection: DetectionResult, n_sources: int, n_queries: int, seed: int
+) -> list[tuple[int, int]]:
+    """A skewed serving workload over one detection's pair space.
+
+    Real query traffic concentrates on the suspicious pairs: 80% of the
+    queries hit a "hot" tenth of the observed pairs, the rest spread
+    over the full observed set plus a 5% sprinkle of never-observed
+    pairs (which both contenders must answer with "no verdict").
+    """
+    rng = random.Random(seed)
+    observed = sorted(detection.decisions)
+    hot = observed[: max(1, len(observed) // 10)]
+    unobserved: list[tuple[int, int]] = []
+    while len(unobserved) < max(1, len(observed) // 5):
+        s1, s2 = rng.randrange(n_sources), rng.randrange(n_sources)
+        if s1 != s2 and (min(s1, s2), max(s1, s2)) not in detection.decisions:
+            unobserved.append((s1, s2))
+    queries: list[tuple[int, int]] = []
+    for _ in range(n_queries):
+        roll = rng.random()
+        if roll < 0.80:
+            pair = hot[rng.randrange(len(hot))]
+        elif roll < 0.95:
+            pair = observed[rng.randrange(len(observed))]
+        else:
+            pair = unobserved[rng.randrange(len(unobserved))]
+        # Callers don't know the canonical order; flip half the queries.
+        queries.append(pair if rng.random() < 0.5 else (pair[1], pair[0]))
+    return queries
+
+
+def _baseline_get_verdict(
+    detection: DetectionResult,
+    params: CopyParams,
+    positions: dict[tuple[int, int], int],
+    s1: int,
+    s2: int,
+) -> Verdict | None:
+    """What serving a query costs *without* the store: recompute it.
+
+    Mirrors ``VerdictReader.get_verdict`` reply-for-reply — normalize
+    the pair, look the decision up on the live ``DetectionResult``,
+    re-derive the three-way posterior and build the same reply tuple —
+    so the measured gap is purely store-and-cache vs recompute.
+    """
+    if s2 < s1:
+        s1, s2 = s2, s1
+    decision = detection.decisions.get((s1, s2))
+    if decision is None:
+        return None
+    post = posterior(decision.c_fwd, decision.c_bwd, params)
+    return Verdict(
+        source_1=s1,
+        source_2=s2,
+        copying=decision.copying,
+        early=decision.early,
+        independent=post.independent,
+        forward=post.forward,
+        backward=post.backward,
+        c_fwd=decision.c_fwd,
+        c_bwd=decision.c_bwd,
+        decision_pos=positions.get((s1, s2), -1),
+        snapshot_id=0,
+    )
+
+
+def _bench_read_api(
+    store_dir: Path,
+    detection: DetectionResult,
+    params: CopyParams,
+    n_sources: int,
+    n_queries: int,
+) -> tuple[dict, bool]:
+    queries = _workload(detection, n_sources, n_queries, seed=17)
+    positions: dict[tuple[int, int], int] = {}
+    reader = VerdictReader(store_dir)
+
+    # Replies must agree before timing means anything: the copying
+    # verdict always; the score fields only where the final decision is
+    # exact.  (For pairs a later incremental round merely re-confirmed
+    # via bounds — ``early=True`` — the store deliberately keeps the
+    # last exactly-computed scores instead of the pessimistic bound.)
+    replies_match = True
+    for s1, s2 in queries[:2000]:
+        served = reader.get_verdict(s1, s2)
+        computed = _baseline_get_verdict(detection, params, positions, s1, s2)
+        if (served is None) != (computed is None):
+            replies_match = False
+            break
+        if served is None:
+            continue
+        if served.copying != computed.copying:
+            replies_match = False
+            break
+        if not computed.early and (
+            abs(served.independent - computed.independent) > 1e-9
+            or served.c_fwd != computed.c_fwd
+        ):
+            replies_match = False
+            break
+
+    def run_baseline():
+        get = _baseline_get_verdict
+        for s1, s2 in queries:
+            get(detection, params, positions, s1, s2)
+
+    def run_served():
+        get = reader.get_verdict
+        for s1, s2 in queries:
+            get(s1, s2)
+
+    run_served()  # warm the LRU once; steady-state serving is what ships
+    baseline_s = _best_of(run_baseline)
+    served_s = _best_of(run_served)
+    row = {
+        "n_queries": n_queries,
+        "baseline": baseline_s,
+        "served": served_s,
+        "baseline_qps": n_queries / baseline_s,
+        "served_qps": n_queries / served_s,
+        "speedup": baseline_s / served_s,
+        "cache": reader.cache_info()["verdict_cache"],
+    }
+    return row, replies_match
+
+
+def _bench_concurrent_refresh(
+    tmp: Path, dataset, params: CopyParams, n_rounds: int
+) -> tuple[dict, bool]:
+    """Serve while a writer republishes; verify every read's snapshot."""
+    n = dataset.n_sources
+    rng = random.Random(29)
+    all_keys = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    base = {
+        key: _decision(params, rng.uniform(-5, 8), rng.uniform(-5, 8))
+        for key in rng.sample(all_keys, min(len(all_keys), 40))
+    }
+    rounds = [dict(base)]
+    for _ in range(n_rounds - 1):
+        for key in rng.sample(sorted(base), min(len(base), 8)):
+            base[key] = _decision(params, rng.uniform(-5, 8), rng.uniform(-5, 8))
+        rounds.append(dict(base))
+    probs = [0.9] * len(dataset.value_item)
+
+    def result_of(decisions) -> DetectionResult:
+        return DetectionResult(
+            method="hybrid", decisions=dict(decisions), n_sources=n
+        )
+
+    # Dry run: learn each snapshot's exact state before any thread starts.
+    scratch = SnapshotPublisher(tmp / "scratch", dataset)
+    states: dict[int, dict[int, tuple[bool, float]]] = {}
+    for round_no, decisions in enumerate(rounds):
+        sid = scratch.publish_round(round_no, result_of(decisions), probs)
+        prev = scratch.prev_pairs
+        states[sid] = {
+            int(k): (bool(f & FLAG_COPYING), float(cf))
+            for k, f, cf in zip(prev.keys, prev.flags, prev.c_fwd)
+        }
+    last_sid = max(states)
+
+    live = SnapshotPublisher(tmp / "live", dataset)
+    live.publish_round(0, result_of(rounds[0]), probs)
+    reader = VerdictReader(tmp / "live")
+    errors: list[str] = []
+    latencies_ns: list[int] = []
+    refreshes = 0
+    verified = 0
+
+    def writer():
+        for round_no, decisions in enumerate(rounds[1:], start=1):
+            time.sleep(0.005)
+            live.publish_round(round_no, result_of(decisions), probs)
+
+    def read_loop():
+        nonlocal refreshes, verified
+        i = 0
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            start = time.perf_counter_ns()
+            if i % 16 == 0:
+                refreshes += reader.refresh()
+            s1, s2 = all_keys[i % len(all_keys)]
+            verdict = reader.get_verdict(s1, s2)
+            latencies_ns.append(time.perf_counter_ns() - start)
+            i += 1
+            key = s1 * n + s2
+            if verdict is None:
+                if key in states[last_sid]:
+                    errors.append(f"missing verdict for observed pair {key}")
+                    return
+                continue
+            expected = states[verdict.snapshot_id].get(key)
+            if expected is None:
+                errors.append(
+                    f"pair {key} served but absent from snapshot "
+                    f"{verdict.snapshot_id}"
+                )
+                return
+            if (verdict.copying, verdict.c_fwd) != expected:
+                errors.append(
+                    f"inconsistent read of pair {key} at snapshot "
+                    f"{verdict.snapshot_id}"
+                )
+                return
+            verified += 1
+            if reader.snapshot_id == last_sid and i > 4 * len(all_keys):
+                return
+
+    write_thread = threading.Thread(target=writer)
+    read_thread = threading.Thread(target=read_loop)
+    write_thread.start()
+    read_thread.start()
+    write_thread.join()
+    read_thread.join()
+
+    latencies_ns.sort()
+    total_s = sum(latencies_ns) / 1e9
+    n_reads = len(latencies_ns)
+
+    def pct(p: float) -> float:
+        return latencies_ns[min(n_reads - 1, int(p * n_reads))] / 1000.0
+
+    row = {
+        "rounds_published": n_rounds,
+        "reads": n_reads,
+        "reads_verified": verified,
+        "refreshes_observed": refreshes,
+        "qps": n_reads / total_s if total_s else 0.0,
+        "p50_us": pct(0.50),
+        "p99_us": pct(0.99),
+        "errors": errors[:3],
+    }
+    ok = not errors and verified > 0 and reader.snapshot_id == last_sid
+    return row, ok
+
+
+def _check_delta_accounting(store: VerdictStore, fusion_rounds) -> tuple[dict, bool]:
+    """Delta snapshots must rewrite exactly the re-opened pairs."""
+    detections = [record.detection for record in fusion_rounds]
+    kinds: list[str] = []
+    minimal = True
+    delta_rows = 0
+    for idx, sid in enumerate(store.snapshot_ids()):
+        meta, arrays = store.load(sid)
+        kinds.append(meta["kind"])
+        if meta["kind"] != "delta":
+            continue
+        delta_rows += int(meta["n_pairs"])
+        delta = detections[idx].decision_delta(detections[idx - 1])
+        n = detections[idx].n_sources
+        expected = {s1 * n + s2 for s1, s2 in delta.changed}
+        expected_removed = {s1 * n + s2 for s1, s2 in delta.removed}
+        if set(int(k) for k in arrays["pair_keys"]) != expected:
+            minimal = False
+        if set(int(k) for k in arrays["removed_pair_keys"]) != expected_removed:
+            minimal = False
+    row = {
+        "kinds": kinds,
+        "delta_snapshots": kinds.count("delta"),
+        "delta_pair_rows_total": delta_rows,
+    }
+    return row, minimal and "delta" in kinds
+
+
+def run(smoke: bool = False) -> dict:
+    world = make_profile("book_cs", scale=0.04 if smoke else 0.12, seed=7)
+    dataset = world.dataset
+    params = CopyParams(backend="numpy")
+    n_queries = SMOKE_QUERIES if smoke else FULL_QUERIES
+
+    with tempfile.TemporaryDirectory(prefix="bench_serve_") as tmp_name:
+        tmp = Path(tmp_name)
+        store_dir = tmp / "store"
+        result = run_fusion(
+            dataset,
+            params,
+            detector=IncrementalDetector(params),
+            config=FusionConfig(max_rounds=8),
+            snapshot_store=store_dir,
+        )
+        store = VerdictStore(store_dir, create=False)
+        detection = result.final_detection()
+
+        read_api, replies_match = _bench_read_api(
+            store_dir, detection, params, dataset.n_sources, n_queries
+        )
+        deltas, deltas_minimal = _check_delta_accounting(store, result.rounds)
+        concurrent, concurrent_ok = _bench_concurrent_refresh(
+            tmp, dataset, params, SMOKE_ROUNDS if smoke else FULL_ROUNDS
+        )
+
+    passed = replies_match and deltas_minimal and concurrent_ok
+    return {
+        "benchmark": "serve",
+        "smoke": smoke,
+        "world": {
+            "profile": "book_cs",
+            "n_sources": dataset.n_sources,
+            "n_items": dataset.n_items,
+            "n_values": dataset.n_values,
+            "observed_pairs": len(detection.decisions),
+            "fusion_rounds": len(result.rounds),
+            "snapshots": result.snapshot_ids,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "timings_seconds": {
+            "read_api": read_api,
+            "concurrent_refresh": concurrent,
+        },
+        "delta_accounting": deltas,
+        "check": {
+            "target": (
+                "served replies match recomputed ones; every concurrent "
+                "read verifies against its snapshot; delta snapshots "
+                "rewrite exactly the re-opened pairs"
+            ),
+            "replies_match": replies_match,
+            "concurrent_reads_verified": concurrent_ok,
+            "deltas_minimal": deltas_minimal,
+            "passed": passed,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small world for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="artifact path"
+    )
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    world = report["world"]
+    print(
+        f"world: {world['n_sources']} sources, {world['n_items']} items, "
+        f"{world['observed_pairs']} observed pairs, "
+        f"{world['fusion_rounds']} fusion rounds"
+    )
+    read_api = report["timings_seconds"]["read_api"]
+    print(
+        f"read API: baseline {read_api['baseline_qps']:,.0f} q/s, "
+        f"served {read_api['served_qps']:,.0f} q/s "
+        f"-> {read_api['speedup']:.1f}x"
+    )
+    concurrent = report["timings_seconds"]["concurrent_refresh"]
+    print(
+        f"concurrent refresh: {concurrent['reads']:,} reads "
+        f"({concurrent['reads_verified']:,} verified) at "
+        f"{concurrent['qps']:,.0f} q/s, p50={concurrent['p50_us']:.1f}us "
+        f"p99={concurrent['p99_us']:.1f}us across "
+        f"{concurrent['rounds_published']} republishes"
+    )
+    deltas = report["delta_accounting"]
+    print(
+        f"deltas: {deltas['delta_snapshots']} delta snapshots, "
+        f"{deltas['delta_pair_rows_total']} rewritten pair rows "
+        f"(kinds: {', '.join(deltas['kinds'])})"
+    )
+    print(f"check: passed={report['check']['passed']}")
+    print(f"artifact -> {args.output}")
+    return 0 if report["check"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,8 @@ baselines under ``benchmarks/output/`` and **fails** (exit code 1) when:
   ``bound``/``bound+`` speedups, or the fusion pipeline's
   ``run_fusion`` reused-workspace speedup drop below the ROADMAP's 3x
   floor, or the scale sweep's sparse-vs-reference speedups drop below
-  their parity floor (``BENCH_FLOORS``)
+  their parity floor, or the serving layer's LRU read API drops below
+  its 10x floor over recomputed verdicts (``BENCH_FLOORS``)
   (after a measurement-noise tolerance — speedups are a ratio of two
   wall-clock numbers and swing ~10% run to run even on an idle machine,
   so the hard cut is ``floor * (1 - tolerance)``; anything between the
@@ -28,6 +29,7 @@ Run locally::
     PYTHONPATH=src python benchmarks/bench_parallel_engine.py --smoke --output /tmp/fresh/BENCH_parallel.json
     PYTHONPATH=src python benchmarks/bench_fusion_pipeline.py --smoke --output /tmp/fresh/BENCH_fusion.json
     PYTHONPATH=src python benchmarks/bench_scale_sweep.py --smoke --output /tmp/fresh/BENCH_scale.json
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke --output /tmp/fresh/BENCH_serve.json
     python benchmarks/check_regression.py --fresh /tmp/fresh
 
 CI runs exactly this sequence (see ``.github/workflows/ci.yml``).
@@ -55,8 +57,10 @@ DEFAULT_TOLERANCE = 0.15
 #: pair layout against the pure-Python reference at parity, not the 3x
 #: backend floor: its point is completing Zipf worlds past the dense
 #: ``n_sources**2`` ceiling at all, and speed parity with the loop it
-#: replaced keeps that honest.
-BENCH_FLOORS = {"scale": 1.0}
+#: replaced keeps that honest.  The serving bench gates the LRU read
+#: API at 10x over recomputing verdicts from the in-memory
+#: ``DetectionResult`` — below that the store isn't paying for itself.
+BENCH_FLOORS = {"scale": 1.0, "serve": 10.0}
 
 
 def _load(directory: Path, name: str) -> dict | None:
@@ -93,6 +97,8 @@ def _speedups(report: dict, benchmark: str) -> dict[str, float]:
             for name, timing in row["timings_seconds"].items()
             if "speedup" in timing
         }
+    if benchmark == "serve":
+        return {"read_api": report["timings_seconds"]["read_api"]["speedup"]}
     return {}
 
 
@@ -110,6 +116,7 @@ def check(
         ("BENCH_parallel.json", "parallel", False),
         ("BENCH_fusion.json", "fusion", True),
         ("BENCH_scale.json", "scale", False),
+        ("BENCH_serve.json", "serve", True),
     ]
     for filename, benchmark, required in specs:
         bench_floor = BENCH_FLOORS.get(benchmark, floor)
@@ -148,6 +155,14 @@ def check(
                 print(
                     f"FAIL  {filename}: backends disagree on fused "
                     f"truths/verdicts"
+                )
+                failures += 1
+        if benchmark == "serve":
+            if not fresh["check"]["passed"]:
+                print(
+                    f"FAIL  {filename}: served replies diverge, concurrent "
+                    f"reads failed verification, or delta snapshots rewrote "
+                    f"more than the re-opened pairs"
                 )
                 failures += 1
         if benchmark == "scale":

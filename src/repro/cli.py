@@ -303,6 +303,149 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_snapshot(args: argparse.Namespace) -> int:
+    from .serving import VerdictStore
+
+    dataset = load_claims(args.claims)
+    params = _params(args)
+    if args.method == "none":
+        detector = None
+    elif args.method == "incremental":
+        detector = IncrementalDetector(params, epoch_size=args.epoch_size)
+    else:
+        detector = SingleRoundDetector(
+            params, method=args.method, epoch_size=args.epoch_size
+        )
+    config = FusionConfig(max_rounds=args.max_rounds)
+    result = run_fusion(
+        dataset, params, detector=detector, config=config, snapshot_store=args.store
+    )
+    store = VerdictStore(args.store)
+    rows = []
+    for snapshot_id in result.snapshot_ids:
+        meta, _ = store.load(snapshot_id)
+        rows.append(
+            [
+                snapshot_id,
+                meta["kind"],
+                meta["round"],
+                meta["n_pairs"],
+                meta["n_items"],
+            ]
+        )
+    print(
+        render_table(
+            f"Published {len(result.snapshot_ids)} snapshots -> {args.store} "
+            f"(converged={result.converged}, CURRENT={store.current_id()})",
+            ["snapshot", "kind", "round", "pair rows", "item rows"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _resolve_source(reader, token: str) -> int:
+    """A source id from a CLI token: an integer, or a published label."""
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    names = reader.labels.get("sources") or []
+    try:
+        return names.index(token)
+    except ValueError:
+        raise SystemExit(f"unknown source {token!r} (not an id or a label)")
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .serving import ServingError, VerdictReader
+
+    try:
+        reader = VerdictReader(args.store)
+    except ServingError as exc:
+        raise SystemExit(str(exc))
+    queried = False
+    if args.pair:
+        queried = True
+        s1 = _resolve_source(reader, args.pair[0])
+        s2 = _resolve_source(reader, args.pair[1])
+        verdict = reader.get_verdict(s1, s2)
+        if verdict is None:
+            print(
+                f"pair ({args.pair[0]}, {args.pair[1]}): never observed — "
+                f"independent by construction"
+            )
+        else:
+            names = reader.labels.get("sources")
+            label = (
+                f"{names[verdict.source_1]} / {names[verdict.source_2]}"
+                if names
+                else f"{verdict.source_1} / {verdict.source_2}"
+            )
+            print(
+                render_table(
+                    f"Verdict for {label} (snapshot {verdict.snapshot_id})",
+                    ["copying", "early", "Pr(indep)", "Pr(1->2)", "Pr(2->1)",
+                     "C->", "C<-", "decision pos"],
+                    [[
+                        verdict.copying,
+                        verdict.early,
+                        verdict.independent,
+                        verdict.forward,
+                        verdict.backward,
+                        verdict.c_fwd,
+                        verdict.c_bwd,
+                        verdict.decision_pos,
+                    ]],
+                )
+            )
+    if args.item is not None:
+        queried = True
+        try:
+            item: int | str = int(args.item)
+        except ValueError:
+            item = args.item
+        try:
+            truth = reader.get_truth(item)
+        except ServingError as exc:
+            raise SystemExit(str(exc))
+        if truth is None:
+            print(f"item {args.item!r}: not in the store")
+        else:
+            print(
+                render_table(
+                    f"Truth for {truth.item_name or truth.item} "
+                    f"(snapshot {truth.snapshot_id})",
+                    ["value", "probability", "supporters"],
+                    [[
+                        truth.value_label or truth.value,
+                        truth.probability,
+                        ",".join(str(s) for s in truth.supporters),
+                    ]],
+                )
+            )
+    if args.top:
+        queried = True
+        rows = [
+            [c.source_name or c.source, c.score]
+            for c in reader.top_copiers(args.top)
+        ]
+        print(
+            render_table(
+                f"Top copiers (snapshot {reader.snapshot_id})",
+                ["source", "copy mass"],
+                rows,
+            )
+        )
+    if not queried:
+        info = reader.cache_info()
+        print(
+            f"store {args.store}: snapshot {info['snapshot_id']}, "
+            f"{info['n_pairs']} pair rows, {info['n_items']} item rows"
+        )
+    return 0
+
+
 def _cmd_conformance(args: argparse.Namespace) -> int:
     import json
 
@@ -443,6 +586,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--sample-fraction", type=float, default=0.1)
     _add_params(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_srv = sub.add_parser(
+        "serve-snapshot",
+        help="run fusion and publish versioned verdict snapshots into a store",
+    )
+    p_srv.add_argument("claims")
+    p_srv.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="verdict-store directory (created if missing); round 1 "
+        "publishes a full snapshot, later rounds publish deltas over it",
+    )
+    p_srv.add_argument(
+        "--method",
+        choices=list(METHODS) + ["incremental", "none"],
+        default="incremental",
+    )
+    p_srv.add_argument("--max-rounds", type=int, default=12)
+    _add_params(p_srv)
+    p_srv.set_defaults(func=_cmd_serve_snapshot)
+
+    p_query = sub.add_parser(
+        "query", help="query a published verdict store (no detection run)"
+    )
+    p_query.add_argument("store", help="verdict-store directory")
+    p_query.add_argument(
+        "--pair",
+        nargs=2,
+        metavar=("S1", "S2"),
+        help="verdict for a source pair (ids or published labels)",
+    )
+    p_query.add_argument(
+        "--item",
+        metavar="ITEM",
+        help="fused truth + provenance for an item (id or published name)",
+    )
+    p_query.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="K",
+        help="print the K most-copying sources",
+    )
+    p_query.set_defaults(func=_cmd_query)
 
     p_conf = sub.add_parser(
         "conformance",

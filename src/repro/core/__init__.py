@@ -47,7 +47,13 @@ from .popularity import (
     pr_single_popular,
     same_value_scores_popular,
 )
-from .result import CostCounter, DetectionResult, PairDecision
+from .result import (
+    CostCounter,
+    DecisionDelta,
+    DetectionResult,
+    PairDecision,
+    PairNotObservedError,
+)
 
 #: Names re-exported lazily from .kernel: importing repro.core must not
 #: require NumPy (only the opt-in ``backend="numpy"`` paths do).
@@ -77,6 +83,7 @@ __all__ = [
     "CopyPosterior",
     "CostCounter",
     "DEFAULT_HYBRID_THRESHOLD",
+    "DecisionDelta",
     "DetectionResult",
     "EntryOrdering",
     "EvidenceItem",
@@ -89,6 +96,7 @@ __all__ = [
     "PARALLEL_METHODS",
     "PairBookkeeping",
     "PairDecision",
+    "PairNotObservedError",
     "PairTable",
     "PairExplanation",
     "PARTITION_AXES",

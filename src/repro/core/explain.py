@@ -17,6 +17,7 @@ from typing import Sequence
 from ..data import Dataset
 from .contribution import CopyPosterior, posterior, same_value_scores_both
 from .params import CopyParams
+from .result import DetectionResult, PairDecision, PairNotObservedError
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,11 @@ class PairExplanation:
         c_fwd: total ``C(a -> b)``.
         c_bwd: total ``C(a <- b)``.
         posterior: the three-way verdict distribution.
+        detected: the detector's stored verdict for the pair, when a
+            :class:`~repro.core.result.DetectionResult` was supplied to
+            :func:`explain_pair`; None otherwise.  May differ from the
+            recomputed ``posterior`` when the stored verdict is an early
+            (bound-based) one.
     """
 
     source_a: str
@@ -55,6 +61,7 @@ class PairExplanation:
     c_fwd: float
     c_bwd: float
     posterior: CopyPosterior
+    detected: PairDecision | None = None
 
     @property
     def copying(self) -> bool:
@@ -98,6 +105,7 @@ def explain_pair(
     probabilities: Sequence[float],
     accuracies: Sequence[float],
     params: CopyParams,
+    result: DetectionResult | None = None,
 ) -> PairExplanation:
     """Break down the evidence between two sources item by item.
 
@@ -108,15 +116,31 @@ def explain_pair(
         probabilities: ``P(D.v)`` per value id.
         accuracies: ``A(S)`` per source id.
         params: model parameters.
+        result: optionally, the detection run whose verdict is being
+            explained.  When given, the detector's stored decision is
+            attached as :attr:`PairExplanation.detected` — and a pair
+            the run never observed (no shared scored value; possible
+            under both dense and sparse ``pair_layout``) raises
+            :class:`~repro.core.result.PairNotObservedError` instead of
+            leaking a raw ``KeyError``/``IndexError`` from the decision
+            lookup or slot decode.
 
     Raises:
         ValueError: if the two ids coincide or are out of range.
+        PairNotObservedError: ``result`` was given but never opened the
+            pair.
     """
     if source_a == source_b:
         raise ValueError("cannot explain a source against itself")
     for source in (source_a, source_b):
         if not 0 <= source < dataset.n_sources:
             raise ValueError(f"source id {source} out of range")
+
+    detected = None
+    if result is not None:
+        detected = result.decision_for(source_a, source_b)
+        if detected is None:
+            raise PairNotObservedError(source_a, source_b, result.method)
 
     ln_diff = params.ln_one_minus_s
     claims_a = dataset.claims[source_a]
@@ -174,4 +198,5 @@ def explain_pair(
         c_fwd=c_fwd,
         c_bwd=c_bwd,
         posterior=posterior(c_fwd, c_bwd, params),
+        detected=detected,
     )

@@ -349,6 +349,12 @@ def incremental_round(
     # Iterates only the affected pairs' own shared entries (intersection
     # of the two sources' entry lists) instead of rescanning the index.
     # ------------------------------------------------------------------
+    # Pairs whose stored verdict/scores actually moved this round —
+    # pass-2 resolutions and pass-3 rebuilds.  Pass-1 re-confirmations
+    # are excluded on purpose: the verdict stands and the reported
+    # scores are pessimistic estimates, not exact values (see
+    # ``DetectionResult.changed_pairs``).
+    changed_pairs: set[tuple[int, int]] = set()
     pass3: list[_PairRecord] = []
     if pass2:
         for record in pass2:
@@ -381,6 +387,7 @@ def incremental_round(
             if verdict is not None:
                 stats.done_pass2 += 1
                 decisions[key] = verdict
+                changed_pairs.add(key)
                 # Absorb the after-decision entries (reference frame) and
                 # move the decision point to the end of the index.
                 record.c_base_fwd += ref_fwd
@@ -436,6 +443,7 @@ def incremental_round(
                 c_fwd=c_fwd, c_bwd=c_bwd, posterior=post,
                 copying=post.copying, early=False,
             )
+            changed_pairs.add(key)
 
     # ------------------------------------------------------------------
     # Advance references.
@@ -460,6 +468,7 @@ def incremental_round(
         n_sources=len(state.a_ref),
         decisions=decisions,
         cost=cost,
+        changed_pairs=changed_pairs,
     )
 
 

@@ -24,6 +24,28 @@ from dataclasses import dataclass, field
 from .contribution import CopyPosterior
 
 
+class PairNotObservedError(LookupError):
+    """A queried pair was never opened by the detection run.
+
+    Pairs can be absent from ``DetectionResult.decisions`` by design —
+    they share no value outside the index tail (or no item at all), or a
+    sparse ``pair_layout`` never allocated them a slot.  Code that needs
+    a verdict for such a pair must not surface a raw ``KeyError`` /
+    ``IndexError`` from dict or slot decode; it raises this instead,
+    naming the pair.  Subclasses :class:`LookupError`, so existing
+    ``except KeyError``-adjacent handling still has a sane hook.
+    """
+
+    def __init__(self, s1: int, s2: int, method: str | None = None):
+        origin = f" by the {method} run" if method else ""
+        super().__init__(
+            f"pair ({s1}, {s2}) was never observed{origin}: the sources "
+            f"share no scored value, so no verdict was computed (the pair "
+            f"is independent by construction)"
+        )
+        self.pair = (s1, s2) if s1 < s2 else (s2, s1)
+
+
 @dataclass
 class CostCounter:
     """Mutable cost tally threaded through a detector run."""
@@ -65,6 +87,23 @@ class PairDecision:
     early: bool = False
 
 
+@dataclass(frozen=True)
+class DecisionDelta:
+    """What changed between two detection rounds, for delta publishing.
+
+    Attributes:
+        changed: pairs whose verdict/scores differ from the previous
+            round (including newly opened pairs), with their new decision.
+        removed: pairs present previously but absent now.
+    """
+
+    changed: dict[tuple[int, int], "PairDecision"]
+    removed: frozenset[tuple[int, int]]
+
+    def __bool__(self) -> bool:
+        return bool(self.changed) or bool(self.removed)
+
+
 @dataclass
 class DetectionResult:
     """Outcome of one copy-detection pass over a dataset.
@@ -79,6 +118,14 @@ class DetectionResult:
         cost: the computation/incidence tally.
         elapsed_seconds: wall-clock detection time (filled by callers that
             time the run; 0.0 otherwise).
+        changed_pairs: when the producer knows which pairs it actually
+            re-resolved this round (INCREMENTAL's pass-2/pass-3 pairs,
+            straight from the bookkeeping), the set of their keys; None
+            means "unknown — assume anything may have changed".  Pairs
+            re-confirmed by pass 1 are deliberately *excluded*: their
+            verdict stands and their pass-1 scores are pessimistic
+            estimates, so downstream consumers (the serving layer's delta
+            publisher) keep the previous exact scores instead.
     """
 
     method: str
@@ -86,6 +133,40 @@ class DetectionResult:
     decisions: dict[tuple[int, int], PairDecision] = field(default_factory=dict)
     cost: CostCounter = field(default_factory=CostCounter)
     elapsed_seconds: float = 0.0
+    changed_pairs: set[tuple[int, int]] | None = None
+
+    def decision_delta(self, previous: "DetectionResult | None") -> DecisionDelta:
+        """The decision changes since ``previous``.
+
+        With no ``previous`` everything counts as changed.  When this
+        result carries :attr:`changed_pairs` the delta comes straight
+        from it (plus any key the set missed but a dict comparison
+        catches — belt and braces for hand-built results); otherwise it
+        falls back to a field-exact comparison of the two decision
+        dicts (:class:`PairDecision` is a frozen dataclass, so ``!=``
+        compares scores and posteriors exactly).
+        """
+        if previous is None:
+            return DecisionDelta(changed=dict(self.decisions), removed=frozenset())
+        prev = previous.decisions
+        if self.changed_pairs is not None:
+            changed = {
+                key: self.decisions[key]
+                for key in self.changed_pairs
+                if key in self.decisions
+            }
+            # Newly opened pairs the producer forgot to record.
+            for key, decision in self.decisions.items():
+                if key not in prev and key not in changed:
+                    changed[key] = decision
+        else:
+            changed = {
+                key: decision
+                for key, decision in self.decisions.items()
+                if prev.get(key) != decision
+            }
+        removed = frozenset(key for key in prev if key not in self.decisions)
+        return DecisionDelta(changed=changed, removed=removed)
 
     def copying_pairs(self) -> set[tuple[int, int]]:
         """The set of pairs judged to be copying (either direction)."""

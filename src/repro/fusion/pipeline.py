@@ -27,6 +27,9 @@ from ..data import Dataset
 from .accu import choose_values, update_accuracies, value_probabilities
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+    from ..serving.store import VerdictStore
     from .workspace import FusionWorkspace
 
 
@@ -86,6 +89,9 @@ class FusionResult:
         chosen: fused truth — ``item_id -> value_id``.
         rounds: per-round records (detection results, timings).
         converged: whether the tolerance was met before ``max_rounds``.
+        snapshot_ids: per-round verdict-store snapshot ids, when the run
+            published to one (``run_fusion(snapshot_store=...)``); empty
+            otherwise.
     """
 
     probabilities: list[float]
@@ -93,6 +99,7 @@ class FusionResult:
     chosen: dict[int, int]
     rounds: list[RoundRecord] = field(default_factory=list)
     converged: bool = False
+    snapshot_ids: list[int] = field(default_factory=list)
 
     @property
     def n_rounds(self) -> int:
@@ -125,6 +132,21 @@ def _as_float_list(values) -> list[float]:
     return list(values)
 
 
+def _decision_positions(detector) -> dict[tuple[int, int], int] | None:
+    """Per-pair decision positions from a stateful detector's bookkeeping.
+
+    The INCREMENTAL detector keeps a ``_PairRecord`` (with the
+    :class:`~repro.core.bound.PairBookkeeping` decision position) per
+    opened pair; stateless detectors have none, and the snapshot stores
+    -1 for their pairs.
+    """
+    state = getattr(detector, "state", None)
+    pairs = getattr(state, "pairs", None)
+    if pairs is None:
+        return None
+    return {key: record.decision_pos for key, record in pairs.items()}
+
+
 def run_fusion(
     dataset: Dataset,
     params: CopyParams,
@@ -132,6 +154,7 @@ def run_fusion(
     config: FusionConfig | None = None,
     workspace: "FusionWorkspace | None" = None,
     fusion_backend: str | None = None,
+    snapshot_store: "VerdictStore | Path | str | None" = None,
 ) -> FusionResult:
     """Run the iterative copy-detection + truth-finding loop to convergence.
 
@@ -154,6 +177,14 @@ def run_fusion(
             1e-9-equivalent to the reference); ``"python"`` keeps the
             reference loops — e.g. to isolate detection-backend effects
             while fusing bit-identically.
+        snapshot_store: a :class:`~repro.serving.VerdictStore` (or a
+            store directory path) to publish each round's verdicts +
+            fused truths into.  The first round writes a full snapshot;
+            later rounds publish deltas sized by what actually changed
+            (the INCREMENTAL detector's re-opened/rebuilt pairs, via
+            ``DetectionResult.changed_pairs``).  A concurrent
+            :class:`~repro.serving.VerdictReader` picks versions up via
+            ``refresh()``.
 
     Returns:
         The converged :class:`FusionResult`.
@@ -205,6 +236,12 @@ def run_fusion(
         def _update_accs(probs):
             return update_accuracies(dataset, probs, params)
 
+    publisher = None
+    if snapshot_store is not None:
+        from ..serving.store import SnapshotPublisher
+
+        publisher = SnapshotPublisher(snapshot_store, dataset)
+
     detector_bound = (
         detector is not None
         and workspace is not None
@@ -247,6 +284,13 @@ def run_fusion(
                     fusion_seconds=fusion_seconds,
                 )
             )
+            if publisher is not None:
+                publisher.publish_round(
+                    round_no,
+                    detection,
+                    probabilities,
+                    _decision_positions(detector),
+                )
             if round_no >= cfg.min_rounds and change < cfg.tolerance:
                 converged = True
                 break
@@ -257,6 +301,7 @@ def run_fusion(
             chosen=choose_values(dataset, probabilities),
             rounds=rounds,
             converged=converged,
+            snapshot_ids=list(publisher.snapshot_ids) if publisher else [],
         )
     finally:
         # Detectors outlive fusion runs; never leave one holding a

@@ -173,6 +173,13 @@ class FusionWorkspace:
         if executor == "serial":
             return None
         pool = self._pools.get(executor)
+        if pool is not None and getattr(pool, "_broken", False):
+            # A worker died (BrokenProcessPool): the pool is unusable for
+            # every future round.  Retire it and build a fresh one so one
+            # crashed worker doesn't poison the rest of the fusion run.
+            pool.shutdown(wait=False)
+            self._pools.pop(executor, None)
+            pool = None
         if pool is None:
             workers = _pool_workers(os.cpu_count() or 1)
             if executor == "threads":

@@ -26,6 +26,8 @@ performance only, never results.
 
 from __future__ import annotations
 
+import atexit
+import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -33,6 +35,28 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.kernel import ColumnarEntries
+
+#: Every live parent-side SharedWorld.  Weak references: a world that is
+#: garbage-collected drops out on its own (``__del__`` unlinks it), and
+#: the :func:`_cleanup_live_worlds` atexit hook sweeps whatever is still
+#: alive when the interpreter exits — e.g. a workspace abandoned after a
+#: process-pool worker died mid-round — so no ``/dev/shm`` segment can
+#: outlive the process.  ``close()`` is idempotent, so a world being
+#: swept twice (hook + __del__, or an explicit close before either) never
+#: double-unlinks or warns.
+_LIVE_WORLDS: "weakref.WeakSet[SharedWorld]" = weakref.WeakSet()
+
+
+def _cleanup_live_worlds() -> None:
+    """atexit safety net: unlink any shm block still owned by this process."""
+    for world in list(_LIVE_WORLDS):
+        try:
+            world.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+
+atexit.register(_cleanup_live_worlds)
 
 
 def shared_memory_available() -> bool:
@@ -131,6 +155,7 @@ class SharedWorld:
     def __init__(self, block, handle: ShmWorldHandle):
         self._block = block
         self.handle = handle
+        _LIVE_WORLDS.add(self)
 
     @staticmethod
     def _pack(
@@ -228,12 +253,22 @@ class SharedWorld:
         except FileNotFoundError:  # pragma: no cover - already gone
             pass
         self._block = None
+        _LIVE_WORLDS.discard(self)
 
     def __enter__(self) -> "SharedWorld":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        # Last-resort unlink for worlds dropped without close() — e.g. an
+        # owner torn down abruptly after a pool worker died.  close() is
+        # idempotent and the atexit sweep tolerates both orders.
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 def scan_shm_partition(handle: ShmWorldHandle, positions, params):

@@ -1,0 +1,62 @@
+"""Verdict-serving layer: persisted snapshots + read-heavy query API.
+
+The detection/fusion pipeline *produces* verdicts; this package serves
+them.  Three pieces:
+
+* :mod:`~repro.serving.codec` — the versioned binary snapshot format
+  (CRC-checked, refuses newer versions with :class:`ServingError`);
+* :mod:`~repro.serving.store` — :class:`VerdictStore` (a directory of
+  immutable snapshots + atomic ``CURRENT`` pointer, full or delta) and
+  :class:`SnapshotPublisher` (one snapshot per fusion round, deltas
+  sized by the INCREMENTAL bookkeeping's changed pairs);
+* :mod:`~repro.serving.reader` — :class:`VerdictReader`, the LRU-cached
+  ``get_verdict`` / ``get_truth`` / ``top_copiers`` API that stays
+  consistent under concurrent refresh.
+
+Wire-in points: ``run_fusion(..., snapshot_store=...)`` publishes per
+round; the CLI round-trips via ``repro serve-snapshot`` and
+``repro query``.
+"""
+
+from .codec import (
+    FORMAT_VERSION,
+    MAGIC,
+    ServingError,
+    decode_snapshot,
+    encode_snapshot,
+    read_snapshot_file,
+)
+from .reader import TopCopier, Truth, Verdict, VerdictReader
+from .store import (
+    FLAG_COPYING,
+    FLAG_EARLY,
+    ItemRows,
+    PairRows,
+    SnapshotPublisher,
+    VerdictStore,
+    copier_totals,
+    merge_item_rows,
+    merge_pair_rows,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "ServingError",
+    "decode_snapshot",
+    "encode_snapshot",
+    "read_snapshot_file",
+    "Verdict",
+    "Truth",
+    "TopCopier",
+    "VerdictReader",
+    "VerdictStore",
+    "SnapshotPublisher",
+    "PairRows",
+    "ItemRows",
+    "FLAG_COPYING",
+    "FLAG_EARLY",
+    "copier_totals",
+    "merge_pair_rows",
+    "merge_item_rows",
+]

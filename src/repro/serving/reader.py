@@ -1,0 +1,311 @@
+"""The LRU-cached read API over a verdict store.
+
+:class:`VerdictReader` answers the three read-heavy questions the
+serving tier exists for — ``get_verdict(s1, s2)``, ``get_truth(item)``
+and ``top_copiers(k)`` — from a loaded snapshot, without touching the
+detection pipeline.
+
+**Consistency under concurrent refresh.**  All state (the merged
+arrays, the label tables *and the LRU caches*) lives on an immutable
+:class:`_SnapshotView`.  ``refresh()`` builds a complete new view and
+then swaps one attribute reference — an atomic operation under the GIL
+— so a reader thread either sees the old view or the new one, never a
+mix, and never a cache entry from a different version.  Every reply
+carries the ``snapshot_id`` it was served from, which is how the serve
+benchmark verifies correctness while a writer republishes concurrently.
+
+**Speed.**  The hot lookups are wrapped in :func:`functools.lru_cache`
+(the C implementation), so a repeated query costs one dict probe; a
+cache miss costs one :func:`numpy.searchsorted` over the sorted key
+column.  Caches are sized by ``cache_size`` (entries per view, per
+lookup kind).
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+from typing import NamedTuple
+
+import numpy as np
+
+from .codec import ServingError
+from .store import (
+    FLAG_COPYING,
+    FLAG_EARLY,
+    ItemRows,
+    PairRows,
+    VerdictStore,
+    merge_item_rows,
+    merge_pair_rows,
+)
+
+
+class Verdict(NamedTuple):
+    """One served pair verdict (sources normalized to ``source_1 < source_2``)."""
+
+    source_1: int
+    source_2: int
+    copying: bool
+    early: bool
+    independent: float  #: Pr(no copying | Phi)
+    forward: float  #: Pr(source_1 copies from source_2 | Phi)
+    backward: float  #: Pr(source_2 copies from source_1 | Phi)
+    c_fwd: float
+    c_bwd: float
+    decision_pos: int  #: bookkeeping decision position, -1 if untracked
+    snapshot_id: int  #: the snapshot version this reply was served from
+
+
+class Truth(NamedTuple):
+    """One served fused truth with provenance."""
+
+    item: int
+    item_name: str | None
+    value: int
+    value_label: str | None
+    probability: float
+    supporters: tuple[int, ...]  #: sources whose claim supports the truth
+    snapshot_id: int
+
+
+class TopCopier(NamedTuple):
+    """One row of the most-copied ranking."""
+
+    source: int
+    source_name: str | None
+    score: float  #: summed directed copy-posterior mass over its pairs
+
+
+class _SnapshotView:
+    """One immutable loaded snapshot version: merged arrays + LRU caches."""
+
+    def __init__(
+        self,
+        snapshot_id: int,
+        meta: dict,
+        pairs: PairRows,
+        items: ItemRows,
+        copier_sources: np.ndarray,
+        copier_scores: np.ndarray,
+        labels: dict | None,
+        cache_size: int,
+    ):
+        self.snapshot_id = snapshot_id
+        self.meta = meta
+        self.n_sources = int(meta["n_sources"])
+        self.pairs = pairs
+        self.items = items
+        self.copier_sources = copier_sources
+        self.copier_scores = copier_scores
+        self.labels = labels or {}
+        self._item_index = {int(v): i for i, v in enumerate(items.ids)}
+        item_names = self.labels.get("items")
+        self._item_by_name = (
+            {name: i for i, name in enumerate(item_names)} if item_names else None
+        )
+        # Per-view caches: a swapped-in view starts cold but can never
+        # serve a stale entry from an older version.
+        self.get_verdict = functools.lru_cache(maxsize=cache_size)(self._verdict)
+        self.get_truth = functools.lru_cache(maxsize=cache_size)(self._truth)
+
+    @classmethod
+    def load(
+        cls, store: VerdictStore, snapshot_id: int, cache_size: int
+    ) -> "_SnapshotView":
+        chain = store.load_chain(snapshot_id)
+        base_meta, base_arrays = chain[0]
+        pairs = PairRows.from_arrays(base_arrays)
+        items = ItemRows.from_arrays(base_arrays)
+        labels = base_meta.get("labels")
+        for meta, arrays in chain[1:]:
+            pairs = merge_pair_rows(
+                pairs,
+                PairRows.from_arrays(arrays),
+                arrays.get("removed_pair_keys", np.empty(0, dtype=np.int64)),
+            )
+            items = merge_item_rows(
+                items,
+                ItemRows.from_arrays(arrays),
+                arrays.get("removed_item_ids", np.empty(0, dtype=np.int64)),
+            )
+            if meta.get("labels"):
+                labels = meta["labels"]
+        tip_meta, tip_arrays = chain[-1]
+        try:
+            copier_sources = tip_arrays["copier_sources"]
+            copier_scores = tip_arrays["copier_scores"]
+        except KeyError as exc:
+            raise ServingError(
+                f"snapshot {snapshot_id} is missing the copier ranking "
+                f"({exc.args[0]!r})"
+            ) from exc
+        return cls(
+            snapshot_id=snapshot_id,
+            meta=tip_meta,
+            pairs=pairs,
+            items=items,
+            copier_sources=copier_sources,
+            copier_scores=copier_scores,
+            labels=labels,
+            cache_size=cache_size,
+        )
+
+    def _check_source(self, source: int) -> None:
+        if not 0 <= source < self.n_sources:
+            raise ValueError(
+                f"source {source} out of range for a {self.n_sources}-source store"
+            )
+
+    def _verdict(self, s1: int, s2: int) -> Verdict | None:
+        self._check_source(s1)
+        self._check_source(s2)
+        if s1 == s2:
+            raise ValueError("a pair needs two distinct sources")
+        a, b = (s1, s2) if s1 < s2 else (s2, s1)
+        key = a * self.n_sources + b
+        keys = self.pairs.keys
+        pos = int(np.searchsorted(keys, key))
+        if pos >= len(keys) or keys[pos] != key:
+            return None  # never observed: independent by construction
+        pairs = self.pairs
+        flags = int(pairs.flags[pos])
+        return Verdict(
+            source_1=a,
+            source_2=b,
+            copying=bool(flags & FLAG_COPYING),
+            early=bool(flags & FLAG_EARLY),
+            independent=float(pairs.independent[pos]),
+            forward=float(pairs.forward[pos]),
+            backward=float(pairs.backward[pos]),
+            c_fwd=float(pairs.c_fwd[pos]),
+            c_bwd=float(pairs.c_bwd[pos]),
+            decision_pos=int(pairs.decision_pos[pos]),
+            snapshot_id=self.snapshot_id,
+        )
+
+    def _truth(self, item: int | str) -> Truth | None:
+        if isinstance(item, str):
+            if self._item_by_name is None:
+                raise ServingError(
+                    "store was published without labels; query items by id"
+                )
+            item_id = self._item_by_name.get(item)
+            if item_id is None:
+                return None
+        else:
+            item_id = int(item)
+        row = self._item_index.get(item_id)
+        if row is None:
+            return None
+        items = self.items
+        value = int(items.truth[row])
+        start, end = items.prov_offsets[row], items.prov_offsets[row + 1]
+        item_names = self.labels.get("items")
+        value_labels = self.labels.get("values")
+        return Truth(
+            item=item_id,
+            item_name=item_names[item_id] if item_names else None,
+            value=value,
+            value_label=value_labels[value] if value_labels else None,
+            probability=float(items.probability[row]),
+            supporters=tuple(int(s) for s in items.prov_sources[start:end]),
+            snapshot_id=self.snapshot_id,
+        )
+
+    def top_copiers(self, k: int) -> list[TopCopier]:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        source_names = self.labels.get("sources")
+        out = []
+        for source, score in zip(self.copier_sources[:k], self.copier_scores[:k]):
+            source = int(source)
+            out.append(
+                TopCopier(
+                    source=source,
+                    source_name=source_names[source] if source_names else None,
+                    score=float(score),
+                )
+            )
+        return out
+
+
+class VerdictReader:
+    """Read API over a :class:`~repro.serving.store.VerdictStore`.
+
+    Opens the store's ``CURRENT`` snapshot; ``refresh()`` picks up a
+    newly published version atomically (see the module docstring for the
+    consistency argument).  Safe to share across reader threads while a
+    single writer republishes.
+    """
+
+    def __init__(self, store: VerdictStore | Path | str, cache_size: int = 65536):
+        self._store = (
+            store if isinstance(store, VerdictStore) else VerdictStore(store, create=False)
+        )
+        self._cache_size = cache_size
+        self._view: _SnapshotView | None = None
+        self.refresh()
+
+    @property
+    def snapshot_id(self) -> int:
+        """The snapshot version currently being served."""
+        return self._view.snapshot_id
+
+    @property
+    def n_sources(self) -> int:
+        return self._view.n_sources
+
+    @property
+    def labels(self) -> dict:
+        """Display labels published with the store (may be empty)."""
+        return self._view.labels
+
+    def refresh(self) -> bool:
+        """Re-read ``CURRENT`` and swap in the new version if it moved.
+
+        Returns True when a new snapshot was loaded.  Readers running
+        concurrently keep being served from the old view until the swap,
+        and from the new view after — never a mix.
+
+        Raises:
+            ServingError: the store is empty or the snapshot chain fails
+                to load.
+        """
+        current = self._store.current_id()
+        if current is None:
+            raise ServingError(
+                f"{self._store.root}: store has no published snapshot"
+            )
+        view = self._view
+        if view is not None and view.snapshot_id == current:
+            return False
+        new_view = _SnapshotView.load(self._store, current, self._cache_size)
+        self._view = new_view  # atomic publication to reader threads
+        return True
+
+    # ------------------------------------------------------------------
+    # The read API proper: delegate to the (immutable) current view.
+    # ------------------------------------------------------------------
+    def get_verdict(self, s1: int, s2: int) -> Verdict | None:
+        """Served verdict for a pair (any order); None if never observed."""
+        return self._view.get_verdict(s1, s2)
+
+    def get_truth(self, item: int | str) -> Truth | None:
+        """Served fused truth for an item id (or name, when labels exist)."""
+        return self._view.get_truth(item)
+
+    def top_copiers(self, k: int = 10) -> list[TopCopier]:
+        """The k sources with the most directed copying mass, descending."""
+        return self._view.top_copiers(k)
+
+    def cache_info(self) -> dict[str, object]:
+        """Diagnostics: current snapshot + per-view LRU statistics."""
+        view = self._view
+        return {
+            "snapshot_id": view.snapshot_id,
+            "verdict_cache": view.get_verdict.cache_info(),
+            "truth_cache": view.get_truth.cache_info(),
+            "n_pairs": len(view.pairs),
+            "n_items": len(view.items),
+        }

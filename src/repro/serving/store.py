@@ -1,0 +1,706 @@
+"""The persisted verdict store: versioned snapshots + delta publishing.
+
+A :class:`VerdictStore` is a directory of immutable snapshot files plus
+an atomically-updated ``CURRENT`` pointer::
+
+    store/
+      snap-00000001.rvs     # full snapshot
+      snap-00000002.rvs     # delta over 1
+      snap-00000003.rvs     # delta over 2
+      CURRENT               # {"snapshot_id": 3}
+
+Each snapshot is encoded by :mod:`repro.serving.codec` and carries two
+row families in one schema, whatever detector (and whatever
+``pair_layout`` — dense and sparse runs serialize identically) produced
+them:
+
+* **pair rows** — key ``s1 * n_sources + s2`` (``s1 < s2``, the same
+  int64 key codec as :mod:`repro.core.pairspace`), the accumulated
+  scores ``C->``/``C<-``, the three-way posterior, the copying/early
+  flags and the decision position from
+  :class:`~repro.core.bound.PairBookkeeping` (-1 when untracked);
+* **item rows** — the fused truth (value id), its probability and its
+  provenance (the sources supporting the chosen value, CSR-packed).
+
+A **full** snapshot carries the complete state (plus optional display
+labels); a **delta** carries only upserted/removed rows over a ``base``
+snapshot.  :class:`SnapshotPublisher` drives the lifecycle for the
+fusion loop: the first round publishes full, and later rounds publish
+deltas sized by what actually changed —
+:attr:`~repro.core.result.DetectionResult.changed_pairs` (the
+INCREMENTAL bookkeeping's re-opened/rebuilt pairs) when the detector
+reports it, a field-exact diff otherwise — falling back to a fresh full
+snapshot when the delta would approach a rewrite anyway.
+
+Per-source "most copied" totals (``top_copiers``) are recomputed from
+the merged pair state at every publish; they are O(pairs) to build and
+tiny to store, so even deltas carry the complete ranking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from .codec import (
+    FORMAT_VERSION,
+    ServingError,
+    encode_snapshot,
+    read_snapshot_file,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.result import DetectionResult
+    from ..data import Dataset
+
+#: Pair-row flag bits.
+FLAG_COPYING = 1
+FLAG_EARLY = 2
+
+#: Float pair columns stored per row (beyond the key).
+PAIR_FLOAT_COLUMNS = ("c_fwd", "c_bwd", "independent", "forward", "backward")
+
+_SNAP_PATTERN = "snap-%08d.rvs"
+
+
+@dataclass
+class PairRows:
+    """Columnar pair verdicts, sorted by key (the storage layout)."""
+
+    keys: np.ndarray  #: int64 ``s1 * n_sources + s2`` keys, sorted unique
+    c_fwd: np.ndarray
+    c_bwd: np.ndarray
+    independent: np.ndarray
+    forward: np.ndarray
+    backward: np.ndarray
+    flags: np.ndarray  #: uint8 bitmask of FLAG_COPYING / FLAG_EARLY
+    decision_pos: np.ndarray  #: int64 bookkeeping decision position, -1 unknown
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @classmethod
+    def empty(cls) -> "PairRows":
+        return cls(
+            keys=np.empty(0, dtype=np.int64),
+            c_fwd=np.empty(0),
+            c_bwd=np.empty(0),
+            independent=np.empty(0),
+            forward=np.empty(0),
+            backward=np.empty(0),
+            flags=np.empty(0, dtype=np.uint8),
+            decision_pos=np.empty(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_decisions(
+        cls,
+        decisions: Mapping[tuple[int, int], "object"],
+        n_sources: int,
+        decision_positions: Mapping[tuple[int, int], int] | None = None,
+    ) -> "PairRows":
+        """Build sorted pair rows from a ``DetectionResult.decisions`` map.
+
+        The construction only reads the public :class:`PairDecision`
+        fields, so dense- and sparse-layout results (whose decisions
+        dicts are value-identical) serialize to byte-identical rows.
+        """
+        n_rows = len(decisions)
+        keys = np.empty(n_rows, dtype=np.int64)
+        cols = {name: np.empty(n_rows) for name in PAIR_FLOAT_COLUMNS}
+        flags = np.empty(n_rows, dtype=np.uint8)
+        positions = np.full(n_rows, -1, dtype=np.int64)
+        stride = np.int64(n_sources)
+        for row, ((s1, s2), decision) in enumerate(decisions.items()):
+            keys[row] = np.int64(s1) * stride + np.int64(s2)
+            cols["c_fwd"][row] = decision.c_fwd
+            cols["c_bwd"][row] = decision.c_bwd
+            post = decision.posterior
+            cols["independent"][row] = post.independent
+            cols["forward"][row] = post.forward
+            cols["backward"][row] = post.backward
+            flags[row] = (FLAG_COPYING if decision.copying else 0) | (
+                FLAG_EARLY if decision.early else 0
+            )
+            if decision_positions is not None:
+                positions[row] = decision_positions.get((s1, s2), -1)
+        order = np.argsort(keys, kind="stable")
+        return cls(
+            keys=keys[order],
+            flags=flags[order],
+            decision_pos=positions[order],
+            **{name: cols[name][order] for name in PAIR_FLOAT_COLUMNS},
+        )
+
+    def to_arrays(self, prefix: str = "pair_") -> dict[str, np.ndarray]:
+        out = {prefix + "keys": self.keys}
+        for name in PAIR_FLOAT_COLUMNS:
+            out[prefix + name] = getattr(self, name)
+        out[prefix + "flags"] = self.flags
+        out[prefix + "decision_pos"] = self.decision_pos
+        return out
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Mapping[str, np.ndarray], prefix: str = "pair_"
+    ) -> "PairRows":
+        try:
+            return cls(
+                keys=arrays[prefix + "keys"],
+                flags=arrays[prefix + "flags"],
+                decision_pos=arrays[prefix + "decision_pos"],
+                **{
+                    name: arrays[prefix + name] for name in PAIR_FLOAT_COLUMNS
+                },
+            )
+        except KeyError as exc:
+            raise ServingError(
+                f"snapshot is missing pair column {exc.args[0]!r}"
+            ) from exc
+
+
+@dataclass
+class ItemRows:
+    """Columnar fused truths + provenance, sorted by item id."""
+
+    ids: np.ndarray  #: int64 item ids, sorted unique
+    truth: np.ndarray  #: int64 chosen value id per item
+    probability: np.ndarray  #: float64 probability of the chosen value
+    prov_offsets: np.ndarray  #: int64 CSR offsets (len(ids) + 1)
+    prov_sources: np.ndarray  #: int64 supporting source ids, CSR-packed
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @classmethod
+    def empty(cls) -> "ItemRows":
+        return cls(
+            ids=np.empty(0, dtype=np.int64),
+            truth=np.empty(0, dtype=np.int64),
+            probability=np.empty(0),
+            prov_offsets=np.zeros(1, dtype=np.int64),
+            prov_sources=np.empty(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_truths(
+        cls,
+        dataset: "Dataset",
+        chosen: Mapping[int, int],
+        probabilities: Sequence[float],
+    ) -> "ItemRows":
+        """Build item rows from a fused truth assignment.
+
+        Provenance is the chosen value's provider list — the sources
+        whose claim supports the published truth.
+        """
+        item_ids = np.fromiter(sorted(chosen), dtype=np.int64, count=len(chosen))
+        truth = np.fromiter(
+            (chosen[int(i)] for i in item_ids), dtype=np.int64, count=len(item_ids)
+        )
+        probability = np.fromiter(
+            (float(probabilities[int(v)]) for v in truth),
+            dtype=np.float64,
+            count=len(truth),
+        )
+        providers = dataset.providers
+        supporter_lists = [providers[int(v)] for v in truth]
+        offsets = np.zeros(len(item_ids) + 1, dtype=np.int64)
+        np.cumsum([len(s) for s in supporter_lists], out=offsets[1:])
+        flat = np.fromiter(
+            (s for lst in supporter_lists for s in lst),
+            dtype=np.int64,
+            count=int(offsets[-1]),
+        )
+        return cls(
+            ids=item_ids,
+            truth=truth,
+            probability=probability,
+            prov_offsets=offsets,
+            prov_sources=flat,
+        )
+
+    def to_arrays(self, prefix: str = "item_") -> dict[str, np.ndarray]:
+        return {
+            prefix + "ids": self.ids,
+            prefix + "truth": self.truth,
+            prefix + "probability": self.probability,
+            prefix + "prov_offsets": self.prov_offsets,
+            prefix + "prov_sources": self.prov_sources,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Mapping[str, np.ndarray], prefix: str = "item_"
+    ) -> "ItemRows":
+        try:
+            return cls(
+                ids=arrays[prefix + "ids"],
+                truth=arrays[prefix + "truth"],
+                probability=arrays[prefix + "probability"],
+                prov_offsets=arrays[prefix + "prov_offsets"],
+                prov_sources=arrays[prefix + "prov_sources"],
+            )
+        except KeyError as exc:
+            raise ServingError(
+                f"snapshot is missing item column {exc.args[0]!r}"
+            ) from exc
+
+    def take(self, rows: np.ndarray) -> "ItemRows":
+        """A new :class:`ItemRows` holding the selected rows (re-packed CSR)."""
+        lengths = (self.prov_offsets[1:] - self.prov_offsets[:-1])[rows]
+        offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        flat = np.empty(int(offsets[-1]), dtype=np.int64)
+        for out_row, row in enumerate(rows):
+            start, end = self.prov_offsets[row], self.prov_offsets[row + 1]
+            flat[offsets[out_row] : offsets[out_row + 1]] = self.prov_sources[
+                start:end
+            ]
+        return ItemRows(
+            ids=self.ids[rows],
+            truth=self.truth[rows],
+            probability=self.probability[rows],
+            prov_offsets=offsets,
+            prov_sources=flat,
+        )
+
+
+def copier_totals(pairs: PairRows, n_sources: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-source copying mass, ranked — the ``top_copiers`` index.
+
+    A pair's ``forward`` posterior is ``Pr(S1 -> S2)`` (S1 copies from
+    S2) and accrues to S1; ``backward`` accrues to S2.  Returns
+    ``(sources, scores)`` sorted by descending score, sources with zero
+    mass dropped.
+    """
+    totals = np.zeros(n_sources)
+    if len(pairs):
+        s1 = pairs.keys // n_sources
+        s2 = pairs.keys % n_sources
+        np.add.at(totals, s1, pairs.forward)
+        np.add.at(totals, s2, pairs.backward)
+    sources = np.nonzero(totals > 0.0)[0]
+    order = np.argsort(-totals[sources], kind="stable")
+    sources = sources[order].astype(np.int64)
+    return sources, totals[sources]
+
+
+def merge_pair_rows(
+    base: PairRows, upserts: PairRows, removed_keys: np.ndarray
+) -> PairRows:
+    """Apply a delta's pair upserts/removals over a base row set."""
+    keys = np.concatenate([base.keys, upserts.keys])
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    uniq, first, counts = np.unique(
+        sorted_keys, return_index=True, return_counts=True
+    )
+    # Stable sort keeps base rows before upsert rows within one key, so
+    # the *last* row of each group is the newest.
+    take = order[first + counts - 1]
+    keep = np.ones(len(uniq), dtype=bool)
+    if len(removed_keys):
+        keep &= ~np.isin(uniq, removed_keys)
+    take = take[keep]
+
+    def pick(column_base, column_new):
+        return np.concatenate([column_base, column_new])[take]
+
+    return PairRows(
+        keys=uniq[keep],
+        flags=pick(base.flags, upserts.flags),
+        decision_pos=pick(base.decision_pos, upserts.decision_pos),
+        **{
+            name: pick(getattr(base, name), getattr(upserts, name))
+            for name in PAIR_FLOAT_COLUMNS
+        },
+    )
+
+
+def merge_item_rows(
+    base: ItemRows, upserts: ItemRows, removed_ids: np.ndarray
+) -> ItemRows:
+    """Apply a delta's item upserts/removals over a base row set."""
+    ids = np.concatenate([base.ids, upserts.ids])
+    order = np.argsort(ids, kind="stable")
+    uniq, first, counts = np.unique(ids[order], return_index=True, return_counts=True)
+    take = order[first + counts - 1]
+    keep = np.ones(len(uniq), dtype=bool)
+    if len(removed_ids):
+        keep &= ~np.isin(uniq, removed_ids)
+    take = take[keep]
+    combined = ItemRows(
+        ids=ids,
+        truth=np.concatenate([base.truth, upserts.truth]),
+        probability=np.concatenate([base.probability, upserts.probability]),
+        prov_offsets=np.concatenate(
+            [
+                base.prov_offsets,
+                base.prov_offsets[-1] + upserts.prov_offsets[1:],
+            ]
+        ),
+        prov_sources=np.concatenate([base.prov_sources, upserts.prov_sources]),
+    )
+    return combined.take(take)
+
+
+class VerdictStore:
+    """Directory manager for versioned verdict snapshots.
+
+    Snapshot files are immutable and published atomically (written to a
+    temp name, then renamed); the ``CURRENT`` pointer is replaced the
+    same way, so a concurrently-reading :class:`~repro.serving.reader.
+    VerdictReader` always sees either the old or the new version, never
+    a torn one.
+    """
+
+    def __init__(self, root: Path | str, create: bool = True):
+        self.root = Path(root)
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise ServingError(f"{self.root}: verdict store directory not found")
+
+    # ------------------------------------------------------------------
+    # Pointers and paths
+    # ------------------------------------------------------------------
+    def snapshot_path(self, snapshot_id: int) -> Path:
+        return self.root / (_SNAP_PATTERN % snapshot_id)
+
+    def current_id(self) -> int | None:
+        """The published snapshot id, or None for an empty store."""
+        path = self.root / "CURRENT"
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            return int(data["snapshot_id"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise ServingError(f"{path}: corrupted CURRENT pointer ({exc})") from exc
+
+    def snapshot_ids(self) -> list[int]:
+        """All snapshot ids present in the directory, ascending."""
+        ids = []
+        for path in self.root.glob("snap-*.rvs"):
+            try:
+                ids.append(int(path.stem.split("-")[1]))
+            except (IndexError, ValueError):  # pragma: no cover - foreign file
+                continue
+        return sorted(ids)
+
+    def _publish(self, snapshot_id: int, data: bytes) -> int:
+        path = self.snapshot_path(snapshot_id)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+        pointer = self.root / "CURRENT"
+        tmp = pointer.with_name("CURRENT.tmp")
+        tmp.write_text(
+            json.dumps(
+                {"snapshot_id": snapshot_id, "format_version": FORMAT_VERSION}
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, pointer)
+        return snapshot_id
+
+    def _next_id(self) -> int:
+        ids = self.snapshot_ids()
+        return (ids[-1] + 1) if ids else 1
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def write_full(
+        self,
+        pairs: PairRows,
+        items: ItemRows,
+        n_sources: int,
+        method: str = "unknown",
+        round_no: int | None = None,
+        labels: Mapping[str, Sequence[str]] | None = None,
+    ) -> int:
+        """Publish a full snapshot; returns its id."""
+        snapshot_id = self._next_id()
+        copier_sources, copier_scores = copier_totals(pairs, n_sources)
+        meta = {
+            "snapshot_id": snapshot_id,
+            "kind": "full",
+            "base_id": None,
+            "n_sources": int(n_sources),
+            "method": method,
+            "round": round_no,
+            "created": time.time(),
+            "n_pairs": len(pairs),
+            "n_items": len(items),
+        }
+        if labels is not None:
+            meta["labels"] = {k: list(v) for k, v in labels.items()}
+        arrays = {
+            **pairs.to_arrays(),
+            **items.to_arrays(),
+            "copier_sources": copier_sources,
+            "copier_scores": copier_scores,
+        }
+        return self._publish(snapshot_id, encode_snapshot(meta, arrays))
+
+    def write_delta(
+        self,
+        base_id: int,
+        pair_upserts: PairRows,
+        removed_pair_keys: np.ndarray,
+        item_upserts: ItemRows,
+        removed_item_ids: np.ndarray,
+        merged_pairs: PairRows,
+        n_sources: int,
+        method: str = "unknown",
+        round_no: int | None = None,
+    ) -> int:
+        """Publish a delta over ``base_id``; returns the new snapshot id.
+
+        ``merged_pairs`` is the post-delta pair state, used only to
+        recompute the (always-complete) copier ranking.
+        """
+        snapshot_id = self._next_id()
+        copier_sources, copier_scores = copier_totals(merged_pairs, n_sources)
+        meta = {
+            "snapshot_id": snapshot_id,
+            "kind": "delta",
+            "base_id": int(base_id),
+            "n_sources": int(n_sources),
+            "method": method,
+            "round": round_no,
+            "created": time.time(),
+            "n_pairs": len(pair_upserts),
+            "n_items": len(item_upserts),
+            "n_removed_pairs": int(len(removed_pair_keys)),
+            "n_removed_items": int(len(removed_item_ids)),
+        }
+        arrays = {
+            **pair_upserts.to_arrays(),
+            **item_upserts.to_arrays(),
+            "removed_pair_keys": np.asarray(removed_pair_keys, dtype=np.int64),
+            "removed_item_ids": np.asarray(removed_item_ids, dtype=np.int64),
+            "copier_sources": copier_sources,
+            "copier_scores": copier_scores,
+        }
+        return self._publish(snapshot_id, encode_snapshot(meta, arrays))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self, snapshot_id: int) -> tuple[dict, dict]:
+        """Decode one snapshot file (meta, arrays).
+
+        Raises:
+            ServingError: missing, truncated, corrupted or
+                newer-versioned snapshot.
+        """
+        path = self.snapshot_path(snapshot_id)
+        if not path.is_file():
+            raise ServingError(f"{path}: snapshot {snapshot_id} not found")
+        return read_snapshot_file(path)
+
+    def load_chain(self, snapshot_id: int) -> list[tuple[dict, dict]]:
+        """The snapshot plus its delta ancestry, base-full first.
+
+        Raises:
+            ServingError: on a missing base or a malformed chain.
+        """
+        chain: list[tuple[dict, dict]] = []
+        current: int | None = snapshot_id
+        seen: set[int] = set()
+        while current is not None:
+            if current in seen:
+                raise ServingError(
+                    f"snapshot {snapshot_id}: base chain contains a cycle "
+                    f"at {current}"
+                )
+            seen.add(current)
+            meta, arrays = self.load(current)
+            chain.append((meta, arrays))
+            if meta.get("kind") == "full":
+                return list(reversed(chain))
+            base = meta.get("base_id")
+            if base is None:
+                raise ServingError(
+                    f"snapshot {current}: delta snapshot without a base_id"
+                )
+            current = int(base)
+        raise ServingError(  # pragma: no cover - unreachable
+            f"snapshot {snapshot_id}: broken base chain"
+        )
+
+
+class SnapshotPublisher:
+    """Publishes one store snapshot per fusion round (full, then deltas).
+
+    The publisher tracks the last-published state, so each round it can
+    extract exactly what changed:
+
+    * pair changes come from
+      :meth:`~repro.core.result.DetectionResult.decision_delta` — the
+      INCREMENTAL detector's :attr:`changed_pairs` (re-opened, rebuilt
+      or accuracy-refreshed pairs, straight from the bookkeeping) when
+      available, a field-exact diff otherwise;
+    * item changes are truths whose chosen value flipped or whose
+      probability moved by more than ``item_tolerance``.
+
+    When the pair delta would touch more than ``full_rewrite_fraction``
+    of the published rows, a fresh full snapshot is written instead —
+    chains stay short and early (pre-convergence) rounds don't masquerade
+    as deltas.
+    """
+
+    def __init__(
+        self,
+        store: VerdictStore | Path | str,
+        dataset: "Dataset",
+        include_labels: bool = True,
+        item_tolerance: float = 1e-6,
+        full_rewrite_fraction: float = 0.6,
+    ):
+        self.store = store if isinstance(store, VerdictStore) else VerdictStore(store)
+        self.dataset = dataset
+        self.include_labels = include_labels
+        self.item_tolerance = item_tolerance
+        self.full_rewrite_fraction = full_rewrite_fraction
+        self.last_snapshot_id: int | None = None
+        self.snapshot_ids: list[int] = []
+        self._prev_detection: "DetectionResult | None" = None
+        self._prev_pairs: PairRows = PairRows.empty()
+        self._prev_items: ItemRows = ItemRows.empty()
+
+    def _labels(self) -> dict[str, Sequence[str]] | None:
+        if not self.include_labels:
+            return None
+        return {
+            "sources": self.dataset.source_names,
+            "items": self.dataset.item_names,
+            "values": self.dataset.value_label,
+        }
+
+    def publish_round(
+        self,
+        round_no: int,
+        detection: "DetectionResult | None",
+        probabilities: Sequence[float],
+        decision_positions: Mapping[tuple[int, int], int] | None = None,
+    ) -> int:
+        """Publish this round's verdicts + truths; returns the snapshot id."""
+        from ..fusion.accu import choose_values
+
+        dataset = self.dataset
+        n_sources = dataset.n_sources
+        method = detection.method if detection is not None else "none"
+        chosen = choose_values(dataset, probabilities)
+        items = ItemRows.from_truths(dataset, chosen, probabilities)
+        decisions = detection.decisions if detection is not None else {}
+
+        if self.last_snapshot_id is None:
+            pairs = PairRows.from_decisions(
+                decisions, n_sources, decision_positions
+            )
+            snapshot_id = self.store.write_full(
+                pairs,
+                items,
+                n_sources,
+                method=method,
+                round_no=round_no,
+                labels=self._labels(),
+            )
+            self._prev_pairs = pairs
+        else:
+            snapshot_id = self._publish_update(
+                round_no, detection, items, decision_positions, method
+            )
+        self.last_snapshot_id = snapshot_id
+        self.snapshot_ids.append(snapshot_id)
+        self._prev_detection = detection
+        self._prev_items = items
+        return snapshot_id
+
+    def _publish_update(
+        self,
+        round_no: int,
+        detection: "DetectionResult | None",
+        items: ItemRows,
+        decision_positions: Mapping[tuple[int, int], int] | None,
+        method: str,
+    ) -> int:
+        n_sources = self.dataset.n_sources
+        if detection is not None:
+            delta = detection.decision_delta(self._prev_detection)
+            changed, removed = delta.changed, delta.removed
+        else:
+            changed, removed = {}, frozenset()
+
+        pair_upserts = PairRows.from_decisions(
+            changed, n_sources, decision_positions
+        )
+        removed_keys = np.fromiter(
+            (s1 * n_sources + s2 for s1, s2 in sorted(removed)),
+            dtype=np.int64,
+            count=len(removed),
+        )
+        merged_pairs = merge_pair_rows(self._prev_pairs, pair_upserts, removed_keys)
+
+        item_upserts, removed_item_ids = self._item_delta(items)
+
+        n_published = max(len(self._prev_pairs), 1)
+        touched = len(pair_upserts) + len(removed_keys)
+        if touched > self.full_rewrite_fraction * n_published:
+            snapshot_id = self.store.write_full(
+                merged_pairs,
+                items,
+                n_sources,
+                method=method,
+                round_no=round_no,
+                labels=self._labels(),
+            )
+        else:
+            snapshot_id = self.store.write_delta(
+                self.last_snapshot_id,
+                pair_upserts,
+                removed_keys,
+                item_upserts,
+                removed_item_ids,
+                merged_pairs,
+                n_sources,
+                method=method,
+                round_no=round_no,
+            )
+        self._prev_pairs = merged_pairs
+        return snapshot_id
+
+    def _item_delta(self, items: ItemRows) -> tuple[ItemRows, np.ndarray]:
+        """Items whose truth or probability materially moved since last publish."""
+        prev = self._prev_items
+        if not len(prev):
+            return items, np.empty(0, dtype=np.int64)
+        pos = np.searchsorted(prev.ids, items.ids)
+        pos_clipped = np.minimum(pos, max(len(prev) - 1, 0))
+        known = prev.ids[pos_clipped] == items.ids
+        same_truth = np.zeros(len(items), dtype=bool)
+        same_truth[known] = prev.truth[pos_clipped[known]] == items.truth[known]
+        close_prob = np.zeros(len(items), dtype=bool)
+        close_prob[known] = (
+            np.abs(prev.probability[pos_clipped[known]] - items.probability[known])
+            <= self.item_tolerance
+        )
+        changed_rows = np.nonzero(~(known & same_truth & close_prob))[0]
+        removed_ids = prev.ids[~np.isin(prev.ids, items.ids)]
+        return items.take(changed_rows), removed_ids
+
+    @property
+    def prev_pairs(self) -> PairRows:
+        """The pair state as currently published (post-merge)."""
+        return self._prev_pairs

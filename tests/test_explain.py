@@ -94,6 +94,86 @@ class TestExplainPair:
         assert not explanation.copying  # prior favours independence
 
 
+class TestExplainAgainstResult:
+    """explain_pair(..., result=) — the never-observed-pair bugfix.
+
+    A pair a detection run never opened has no entry in ``decisions``
+    (and, under a sparse ``pair_layout``, no allocated slot at all); a
+    naive ``result.decisions[(s1, s2)]`` leaks a raw KeyError.  With the
+    result passed to explain_pair, the lookup must either attach the
+    stored verdict or raise the dedicated PairNotObservedError.
+    """
+
+    @pytest.fixture(scope="class", params=["dense", "sparse"])
+    def detection(
+        self, request, example, example_probabilities, example_accuracies
+    ):
+        from repro.core import CopyParams, detect
+
+        params = CopyParams(backend="numpy", pair_layout=request.param)
+        return params, detect(
+            example,
+            example_probabilities,
+            example_accuracies,
+            params,
+            method="hybrid",
+        )
+
+    def _unobserved_pair(self, example, result):
+        n = example.n_sources
+        for s1 in range(n):
+            for s2 in range(s1 + 1, n):
+                if (s1, s2) not in result.decisions:
+                    return s1, s2
+        pytest.skip("every pair was opened on this world")
+
+    def test_never_observed_pair_raises_clear_error(
+        self, detection, example, example_probabilities, example_accuracies
+    ):
+        from repro.core import PairNotObservedError
+
+        params, result = detection
+        s1, s2 = self._unobserved_pair(example, result)
+        with pytest.raises(PairNotObservedError, match="never observed") as err:
+            explain_pair(
+                example,
+                s1,
+                s2,
+                example_probabilities,
+                example_accuracies,
+                params,
+                result=result,
+            )
+        assert err.value.pair == (s1, s2)
+        assert isinstance(err.value, LookupError)
+
+    def test_observed_pair_attaches_detected_verdict(
+        self, detection, example, example_probabilities, example_accuracies
+    ):
+        params, result = detection
+        (s1, s2), decision = next(iter(result.decisions.items()))
+        explanation = explain_pair(
+            example,
+            s1,
+            s2,
+            example_probabilities,
+            example_accuracies,
+            params,
+            result=result,
+        )
+        assert explanation.detected == decision
+
+    def test_without_result_stays_lenient(
+        self, detection, example, example_probabilities, example_accuracies
+    ):
+        params, result = detection
+        s1, s2 = self._unobserved_pair(example, result)
+        explanation = explain_pair(
+            example, s1, s2, example_probabilities, example_accuracies, params
+        )
+        assert explanation.detected is None
+
+
 class TestCliExplain:
     def test_detect_explain_flag(self, tmp_path, capsys):
         from repro.cli import main

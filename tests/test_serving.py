@@ -1,0 +1,596 @@
+"""The verdict-serving layer: codec robustness, store lifecycle, reader API.
+
+Covers the tentpole's guarantees end to end:
+
+* every way a snapshot file can be bad (truncation, corruption, foreign
+  bytes, a newer format version) surfaces as ``ServingError`` — never a
+  raw codec traceback;
+* full + delta publishing round-trips through ``VerdictStore`` and the
+  chain resolver;
+* the ``VerdictReader`` API semantics (unobserved pairs, label lookups,
+  self-pair/out-of-range errors, LRU behaviour across ``refresh()``);
+* reads stay consistent — verified per ``snapshot_id`` — while a writer
+  republishes concurrently;
+* INCREMENTAL delta snapshots rewrite exactly the re-opened/rebuilt
+  pairs reported by the bookkeeping;
+* dense and sparse ``pair_layout`` detections serialize to identical
+  store rows;
+* the ``run_fusion(snapshot_store=)`` hook and the
+  ``serve-snapshot`` / ``query`` CLI round trip.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import CopyParams, IncrementalDetector, detect, posterior
+from repro.core.result import DetectionResult, PairDecision
+from repro.data import save_claims
+from repro.fusion import FusionConfig, run_fusion, vote_probabilities
+from repro.serving import (
+    FLAG_COPYING,
+    FORMAT_VERSION,
+    ItemRows,
+    PairRows,
+    ServingError,
+    SnapshotPublisher,
+    VerdictReader,
+    VerdictStore,
+    decode_snapshot,
+    encode_snapshot,
+    read_snapshot_file,
+)
+from repro.synth import make_profile
+
+
+def _decision(params: CopyParams, c_fwd: float, c_bwd: float) -> PairDecision:
+    post = posterior(c_fwd, c_bwd, params)
+    return PairDecision(
+        c_fwd=c_fwd, c_bwd=c_bwd, posterior=post, copying=post.copying, early=False
+    )
+
+
+def _result(decisions: dict, n_sources: int) -> DetectionResult:
+    return DetectionResult(
+        method="test", n_sources=n_sources, decisions=dict(decisions)
+    )
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_profile("book_cs", scale=0.05, seed=11)
+
+
+# ----------------------------------------------------------------------
+# Codec robustness (satellite: truncated/corrupted/newer all ServingError)
+# ----------------------------------------------------------------------
+class TestCodec:
+    @pytest.fixture(scope="class")
+    def sample(self) -> bytes:
+        return encode_snapshot(
+            {"snapshot_id": 3, "kind": "full", "n_sources": 4},
+            {
+                "keys": np.arange(5, dtype=np.int64),
+                "scores": np.linspace(0.0, 1.0, 3),
+                "flags": np.array([1, 0, 2], dtype=np.uint8),
+            },
+        )
+
+    def test_roundtrip(self, sample):
+        meta, arrays = decode_snapshot(sample)
+        assert meta["snapshot_id"] == 3
+        assert np.array_equal(arrays["keys"], np.arange(5))
+        assert np.allclose(arrays["scores"], [0.0, 0.5, 1.0])
+        assert arrays["flags"].dtype == np.uint8
+
+    def test_decoded_arrays_are_read_only(self, sample):
+        _, arrays = decode_snapshot(sample)
+        with pytest.raises(ValueError):
+            arrays["keys"][0] = 99
+
+    def test_every_truncation_is_a_serving_error(self, sample):
+        # No prefix of a valid snapshot may decode — and none may leak a
+        # struct/json/numpy traceback.
+        for cut in range(len(sample)):
+            with pytest.raises(ServingError):
+                decode_snapshot(sample[:cut])
+
+    def test_bad_magic(self, sample):
+        with pytest.raises(ServingError, match="not a verdict snapshot"):
+            decode_snapshot(b"ZZZZ" + sample[4:])
+
+    def test_newer_format_version_refused(self, sample):
+        _, _, header_len = struct.unpack_from("<4sII", sample)
+        doctored = (
+            struct.pack("<4sII", b"RVSS", FORMAT_VERSION + 1, header_len)
+            + sample[12:]
+        )
+        with pytest.raises(ServingError, match="newer than this build"):
+            decode_snapshot(doctored)
+
+    def test_corrupted_header_is_a_serving_error(self, sample):
+        corrupted = bytearray(sample)
+        corrupted[14] ^= 0xFF  # inside the JSON header
+        with pytest.raises(ServingError):
+            decode_snapshot(bytes(corrupted))
+
+    def test_corrupted_payload_fails_checksum(self, sample):
+        corrupted = bytearray(sample)
+        corrupted[-1] ^= 0xFF
+        with pytest.raises(ServingError, match="checksum"):
+            decode_snapshot(bytes(corrupted))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ServingError, match="cannot read"):
+            read_snapshot_file(tmp_path / "nope.rvs")
+
+
+# ----------------------------------------------------------------------
+# Store lifecycle: full + delta publishing, chain resolution, robustness
+# ----------------------------------------------------------------------
+class TestStore:
+    def test_missing_store_directory(self, tmp_path):
+        with pytest.raises(ServingError, match="not found"):
+            VerdictStore(tmp_path / "absent", create=False)
+
+    def test_empty_store_has_no_current(self, tmp_path):
+        store = VerdictStore(tmp_path)
+        assert store.current_id() is None
+        with pytest.raises(ServingError, match="no published snapshot"):
+            VerdictReader(store)
+
+    def test_corrupted_current_pointer(self, tmp_path):
+        store = VerdictStore(tmp_path)
+        (tmp_path / "CURRENT").write_text("not json")
+        with pytest.raises(ServingError, match="CURRENT"):
+            store.current_id()
+
+    def test_full_snapshot_roundtrip(self, tmp_path, params):
+        store = VerdictStore(tmp_path)
+        decisions = {(0, 1): _decision(params, 5.0, 4.0)}
+        pairs = PairRows.from_decisions(decisions, 3)
+        sid = store.write_full(pairs, ItemRows.empty(), n_sources=3, method="t")
+        assert store.current_id() == sid
+        meta, arrays = store.load(sid)
+        assert meta["kind"] == "full"
+        assert meta["n_sources"] == 3
+        back = PairRows.from_arrays(arrays)
+        assert back.keys.tolist() == [1]  # 0 * 3 + 1
+        assert back.c_fwd[0] == 5.0
+
+    def test_truncated_store_file_is_a_serving_error(self, tmp_path, params):
+        store = VerdictStore(tmp_path)
+        pairs = PairRows.from_decisions({(0, 1): _decision(params, 5.0, 4.0)}, 3)
+        sid = store.write_full(pairs, ItemRows.empty(), n_sources=3)
+        path = store.snapshot_path(sid)
+        path.write_bytes(path.read_bytes()[:-20])
+        with pytest.raises(ServingError, match="truncated"):
+            VerdictReader(store)
+
+    def test_newer_versioned_snapshot_in_store(self, tmp_path, params):
+        store = VerdictStore(tmp_path)
+        pairs = PairRows.from_decisions({(0, 1): _decision(params, 5.0, 4.0)}, 3)
+        sid = store.write_full(pairs, ItemRows.empty(), n_sources=3)
+        path = store.snapshot_path(sid)
+        data = path.read_bytes()
+        _, _, header_len = struct.unpack_from("<4sII", data)
+        path.write_bytes(
+            struct.pack("<4sII", b"RVSS", FORMAT_VERSION + 7, header_len)
+            + data[12:]
+        )
+        with pytest.raises(ServingError, match="newer than this build"):
+            VerdictReader(store)
+
+    def test_delta_chain_with_missing_base(self, tmp_path, example, params):
+        pub = SnapshotPublisher(tmp_path, example)
+        probs = [0.9] * len(example.value_item)
+        decisions = {
+            (s1, s2): _decision(params, 5.0 - s2, 4.0 - s1)
+            for s1 in range(3)
+            for s2 in range(s1 + 1, 5)
+        }
+        sid1 = pub.publish_round(1, _result(decisions, example.n_sources), probs)
+        decisions[(0, 1)] = _decision(params, 6.0, 4.0)
+        sid2 = pub.publish_round(2, _result(decisions, example.n_sources), probs)
+        store = VerdictStore(tmp_path)
+        assert store.load(sid2)[0]["kind"] == "delta"
+        store.snapshot_path(sid1).unlink()
+        with pytest.raises(ServingError, match="not found"):
+            VerdictReader(store)
+
+
+# ----------------------------------------------------------------------
+# Reader API semantics + LRU behaviour across refresh
+# ----------------------------------------------------------------------
+class TestReader:
+    @pytest.fixture()
+    def published(self, tmp_path, example, params):
+        probs = [0.9] * len(example.value_item)
+        decisions = {
+            (0, 1): _decision(params, 5.0, 4.0),
+            (2, 5): _decision(params, -3.0, -4.0),
+        }
+        pub = SnapshotPublisher(tmp_path, example)
+        pub.publish_round(1, _result(decisions, example.n_sources), probs)
+        return tmp_path, pub, decisions, probs
+
+    def test_get_verdict_matches_decisions(self, published, params):
+        path, _, decisions, _ = published
+        reader = VerdictReader(path)
+        for (s1, s2), dec in decisions.items():
+            for a, b in ((s1, s2), (s2, s1)):  # any order
+                v = reader.get_verdict(a, b)
+                assert (v.source_1, v.source_2) == (s1, s2)
+                assert v.copying == dec.copying
+                assert v.c_fwd == dec.c_fwd
+                assert v.forward == dec.posterior.forward
+                assert v.snapshot_id == reader.snapshot_id
+
+    def test_unobserved_pair_is_none(self, published):
+        reader = VerdictReader(published[0])
+        assert reader.get_verdict(3, 4) is None
+
+    def test_self_pair_and_out_of_range(self, published):
+        reader = VerdictReader(published[0])
+        with pytest.raises(ValueError, match="distinct"):
+            reader.get_verdict(2, 2)
+        with pytest.raises(ValueError, match="out of range"):
+            reader.get_verdict(0, reader.n_sources)
+        with pytest.raises(ValueError, match="out of range"):
+            reader.get_verdict(-1, 1)
+
+    def test_get_truth_by_id_and_name(self, published, example):
+        reader = VerdictReader(published[0])
+        truth = reader.get_truth(0)
+        assert truth.item == 0
+        assert truth.item_name == example.item_names[0]
+        assert truth.value_label == example.value_label[truth.value]
+        assert truth.supporters  # provenance present
+        assert reader.get_truth(example.item_names[0]) == truth
+        assert reader.get_truth("no-such-item") is None
+
+    def test_top_copiers_sorted_descending(self, published):
+        reader = VerdictReader(published[0])
+        top = reader.top_copiers(10)
+        scores = [c.score for c in top]
+        assert scores == sorted(scores, reverse=True)
+        assert all(c.score > 0 for c in top)
+
+    def test_lru_cache_hits_and_refresh_invalidation(
+        self, published, example, params
+    ):
+        path, pub, decisions, probs = published
+        reader = VerdictReader(path)
+        first = reader.get_verdict(0, 1)
+        again = reader.get_verdict(0, 1)
+        assert again is first  # served from the view's LRU
+        assert reader.cache_info()["verdict_cache"].hits >= 1
+
+        changed = dict(decisions)
+        changed[(0, 1)] = _decision(params, 9.0, 4.0)
+        pub.publish_round(2, _result(changed, example.n_sources), probs)
+        assert reader.refresh() is True
+        assert reader.refresh() is False  # already current
+        after = reader.get_verdict(0, 1)
+        assert after.c_fwd == 9.0  # not the cached pre-refresh entry
+        assert after.snapshot_id != first.snapshot_id
+
+
+# ----------------------------------------------------------------------
+# Concurrent refresh: every read consistent with its snapshot version
+# ----------------------------------------------------------------------
+class TestConcurrentRefresh:
+    def _rounds(self, params, n_sources, n_rounds=8, seed=5):
+        rng = random.Random(seed)
+        all_keys = [
+            (i, j) for i in range(n_sources) for j in range(i + 1, n_sources)
+        ]
+        current = {
+            key: _decision(params, rng.uniform(-5, 8), rng.uniform(-5, 8))
+            for key in rng.sample(all_keys, 20)
+        }
+        rounds = [dict(current)]
+        for _ in range(n_rounds - 1):
+            for key in rng.sample(sorted(current), 5):
+                current[key] = _decision(
+                    params, rng.uniform(-5, 8), rng.uniform(-5, 8)
+                )
+            rounds.append(dict(current))
+        return all_keys, rounds
+
+    def test_reads_verify_against_their_snapshot(
+        self, tmp_path, example, params
+    ):
+        probs = [0.9] * len(example.value_item)
+        n = example.n_sources
+        all_keys, rounds = self._rounds(params, n)
+
+        # Dry run into a scratch store to learn the exact per-snapshot
+        # state (ids are sequential, so the live store reproduces them).
+        scratch = SnapshotPublisher(tmp_path / "scratch", example)
+        states: dict[int, dict[int, tuple[bool, float]]] = {}
+        for round_no, decisions in enumerate(rounds):
+            sid = scratch.publish_round(round_no, _result(decisions, n), probs)
+            prev = scratch.prev_pairs
+            states[sid] = {
+                int(k): (bool(f & FLAG_COPYING), float(cf))
+                for k, f, cf in zip(prev.keys, prev.flags, prev.c_fwd)
+            }
+        last_sid = max(states)
+
+        live = SnapshotPublisher(tmp_path / "live", example)
+        live.publish_round(0, _result(rounds[0], n), probs)
+        reader = VerdictReader(tmp_path / "live")
+        errors: list[str] = []
+        seen_ids: set[int] = set()
+
+        def writer():
+            for round_no, decisions in enumerate(rounds[1:], start=1):
+                time.sleep(0.003)
+                live.publish_round(round_no, _result(decisions, n), probs)
+
+        def read_loop():
+            i = 0
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if i % 7 == 0:
+                    reader.refresh()
+                s1, s2 = all_keys[i % len(all_keys)]
+                i += 1
+                verdict = reader.get_verdict(s1, s2)
+                key = s1 * n + s2
+                if verdict is None:
+                    if key in states[last_sid]:
+                        errors.append(f"missing verdict for observed pair {key}")
+                        return
+                    continue
+                seen_ids.add(verdict.snapshot_id)
+                expected = states[verdict.snapshot_id].get(key)
+                if expected is None:
+                    errors.append(
+                        f"pair {key} served but absent from snapshot "
+                        f"{verdict.snapshot_id}"
+                    )
+                    return
+                if (verdict.copying, verdict.c_fwd) != expected:
+                    errors.append(
+                        f"inconsistent read of pair {key} at snapshot "
+                        f"{verdict.snapshot_id}: got "
+                        f"{(verdict.copying, verdict.c_fwd)}, expected {expected}"
+                    )
+                    return
+                if reader.snapshot_id == last_sid and i > 3 * len(all_keys):
+                    return
+
+        write_thread = threading.Thread(target=writer)
+        read_thread = threading.Thread(target=read_loop)
+        write_thread.start()
+        read_thread.start()
+        write_thread.join()
+        read_thread.join()
+        assert errors == []
+        assert reader.refresh() is False or reader.snapshot_id == last_sid
+        reader.refresh()
+        assert reader.snapshot_id == last_sid
+
+
+# ----------------------------------------------------------------------
+# INCREMENTAL deltas rewrite exactly the re-opened/rebuilt pairs
+# ----------------------------------------------------------------------
+class TestIncrementalDeltas:
+    def test_delta_rows_equal_changed_pairs(self, tmp_path, world):
+        params = CopyParams()
+        detector = IncrementalDetector(params)
+        result = run_fusion(
+            world.dataset,
+            params,
+            detector=detector,
+            config=FusionConfig(max_rounds=6),
+            snapshot_store=tmp_path,
+        )
+        assert result.snapshot_ids  # one per round
+        store = VerdictStore(tmp_path)
+        n = world.dataset.n_sources
+        previous = None
+        for record, sid in zip(result.rounds, result.snapshot_ids):
+            meta, arrays = store.load(sid)
+            if meta["kind"] == "delta":
+                delta = record.detection.decision_delta(previous)
+                expected = sorted(
+                    s1 * n + s2 for s1, s2 in delta.changed
+                )
+                assert arrays["pair_keys"].tolist() == expected
+            previous = record.detection
+        # Later rounds change few pairs, so real deltas must appear.
+        kinds = [store.load(sid)[0]["kind"] for sid in result.snapshot_ids]
+        assert "delta" in kinds
+
+    def test_changed_pairs_excludes_pass1_confirmations(self, world):
+        params = CopyParams()
+        detector = IncrementalDetector(params)
+        result = run_fusion(
+            world.dataset,
+            params,
+            detector=detector,
+            config=FusionConfig(max_rounds=6),
+        )
+        last = result.rounds[-1].detection
+        assert last.changed_pairs is not None
+        assert set(last.changed_pairs) <= set(last.decisions)
+        # The whole point: most pairs re-confirm in pass 1 and stay out.
+        assert len(last.changed_pairs) < len(last.decisions)
+
+
+# ----------------------------------------------------------------------
+# Dense and sparse pair_layout serialize to the same store rows
+# ----------------------------------------------------------------------
+class TestLayoutParity:
+    def test_dense_and_sparse_store_identically(self, tmp_path, world):
+        dataset = world.dataset
+        probs = vote_probabilities(dataset)
+        accs = [0.8] * dataset.n_sources
+        stores = {}
+        for layout in ("dense", "sparse"):
+            params = CopyParams(backend="numpy", pair_layout=layout)
+            detection = detect(
+                dataset, probs, accs, params, method="hybrid"
+            )
+            pub = SnapshotPublisher(tmp_path / layout, dataset)
+            sid = pub.publish_round(1, detection, probs)
+            stores[layout] = VerdictStore(tmp_path / layout).load(sid)
+        meta_dense, arrays_dense = stores["dense"]
+        meta_sparse, arrays_sparse = stores["sparse"]
+        assert meta_dense["n_pairs"] == meta_sparse["n_pairs"] > 0
+        assert set(arrays_dense) == set(arrays_sparse)
+        for name, arr in arrays_dense.items():
+            assert np.array_equal(arr, arrays_sparse[name]), name
+
+
+# ----------------------------------------------------------------------
+# Pipeline hook + CLI round trip
+# ----------------------------------------------------------------------
+class TestPipelineHook:
+    def test_run_fusion_publishes_servable_snapshots(self, tmp_path, world):
+        params = CopyParams()
+        result = run_fusion(
+            world.dataset,
+            params,
+            detector=IncrementalDetector(params),
+            config=FusionConfig(max_rounds=5),
+            snapshot_store=tmp_path,
+        )
+        assert len(result.snapshot_ids) == result.n_rounds
+        reader = VerdictReader(tmp_path)
+        final = result.final_detection()
+        served_pairs = 0
+        for (s1, s2), decision in final.decisions.items():
+            verdict = reader.get_verdict(s1, s2)
+            assert verdict is not None
+            assert verdict.copying == decision.copying
+            served_pairs += 1
+        assert served_pairs == reader.cache_info()["n_pairs"]
+        # Fused truths match the run's chosen values.
+        for item, value in result.chosen.items():
+            truth = reader.get_truth(item)
+            assert truth.value == value
+            assert truth.probability == pytest.approx(
+                result.probabilities[value]
+            )
+
+    def test_decision_positions_served(self, tmp_path, world):
+        params = CopyParams()
+        run_fusion(
+            world.dataset,
+            params,
+            detector=IncrementalDetector(params),
+            config=FusionConfig(max_rounds=3),
+            snapshot_store=tmp_path,
+        )
+        # Round 1 runs HYBRID without bookkeeping (all positions -1);
+        # the prepare round (2) builds PairBookkeeping, and its decision
+        # positions must reach the published rows.
+        _, round1 = VerdictStore(tmp_path).load(1)
+        assert (round1["pair_decision_pos"] == -1).all()
+        _, round2 = VerdictStore(tmp_path).load(2)
+        assert (round2["pair_decision_pos"] >= 0).any()
+        reader = VerdictReader(tmp_path)
+        pairs = reader._view.pairs
+        assert (pairs.decision_pos >= 0).any()
+
+
+class TestCliServe:
+    @pytest.fixture(scope="class")
+    def claims_path(self, tmp_path_factory, world):
+        path = tmp_path_factory.mktemp("serve") / "claims.csv"
+        save_claims(world.dataset, path)
+        return path
+
+    def test_serve_snapshot_then_query(
+        self, claims_path, tmp_path, capsys, world
+    ):
+        store = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "serve-snapshot",
+                    str(claims_path),
+                    "--store",
+                    str(store),
+                    "--method",
+                    "incremental",
+                    "--max-rounds",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Published" in out and "full" in out
+
+        assert main(["query", str(store), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Top copiers" in out
+
+        source_a = world.dataset.source_names[0]
+        source_b = world.dataset.source_names[1]
+        assert main(["query", str(store), "--pair", source_a, source_b]) == 0
+        out = capsys.readouterr().out
+        assert "Verdict" in out or "never observed" in out
+
+        item = world.dataset.item_names[0]
+        assert main(["query", str(store), "--item", item]) == 0
+        out = capsys.readouterr().out
+        assert "Truth" in out
+
+        assert main(["query", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "pair rows" in out
+
+    def test_query_empty_store_fails_cleanly(self, tmp_path):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["query", str(empty)])
+
+    def test_query_unknown_source_label(self, claims_path, tmp_path, capsys):
+        store = tmp_path / "store2"
+        main(
+            [
+                "serve-snapshot",
+                str(claims_path),
+                "--store",
+                str(store),
+                "--method",
+                "none",
+                "--max-rounds",
+                "3",
+            ]
+        )
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="unknown source"):
+            main(["query", str(store), "--pair", "definitely-not-a-source", "0"])
+
+
+class TestCurrentPointerAtomicity:
+    def test_current_never_points_at_a_partial_file(self, tmp_path, params):
+        # The snapshot file is fully written and renamed before CURRENT
+        # moves, so a reader opening mid-publish always sees a complete
+        # file for whatever CURRENT names.
+        store = VerdictStore(tmp_path)
+        decisions = {(0, 1): _decision(params, 5.0, 4.0)}
+        for round_no in range(4):
+            pairs = PairRows.from_decisions(decisions, 3)
+            store.write_full(pairs, ItemRows.empty(), n_sources=3)
+            current = store.current_id()
+            pointer = json.loads((tmp_path / "CURRENT").read_text())
+            assert pointer["snapshot_id"] == current
+            meta, _ = store.load(current)  # decodes cleanly, CRC included
+            assert meta["snapshot_id"] == current

@@ -1,0 +1,165 @@
+"""SharedWorld teardown: no /dev/shm leak, even when a worker dies.
+
+The regression this pins down: a ``FusionWorkspace`` (or any other
+parent-side owner) holds a persistent ``SharedWorld`` block; when a
+process-pool worker dies mid-round the pool breaks, the round raises,
+and sloppy teardown paths could leave the shm segment linked until
+reboot.  The fixes under test:
+
+* a module-level atexit safety net (``_cleanup_live_worlds`` over a
+  WeakSet of live worlds) unlinks anything still owned at interpreter
+  exit, with ``close()`` idempotent so double sweeps never warn;
+* ``SharedWorld.__del__`` unlinks garbage-collected worlds;
+* ``FusionWorkspace.pool()`` retires a broken process pool and builds a
+  fresh one instead of resubmitting into the corpse.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import subprocess
+import sys
+import warnings
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import CopyParams
+from repro.core.kernel import ColumnarEntries
+from repro.fusion.workspace import FusionWorkspace
+from repro.parallel.shm import (
+    _LIVE_WORLDS,
+    SharedWorld,
+    shared_memory_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no usable shared memory"
+)
+
+
+def _toy_columns() -> ColumnarEntries:
+    return ColumnarEntries(
+        probs=np.array([0.9, 0.4]),
+        main=np.ones(2, dtype=bool),
+        offsets=np.array([0, 2, 4], dtype=np.int64),
+        providers=np.array([0, 1, 0, 2], dtype=np.int64),
+    )
+
+
+def _segment_exists(name: str) -> bool:
+    shm_dir = Path("/dev/shm")
+    if shm_dir.is_dir():
+        return (shm_dir / name).exists()
+    from multiprocessing import shared_memory
+
+    try:
+        block = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    block.close()
+    return True
+
+
+class TestIdempotentClose:
+    def test_double_close_never_warns(self):
+        world = SharedWorld.create(_toy_columns(), [0.8, 0.8, 0.8], 3)
+        name = world.handle.name
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            world.close()
+            world.close()  # second close is a silent no-op
+        assert not _segment_exists(name)
+
+    def test_closed_world_leaves_registry(self):
+        world = SharedWorld.create(_toy_columns(), [0.8, 0.8, 0.8], 3)
+        assert world in _LIVE_WORLDS
+        world.close()
+        assert world not in _LIVE_WORLDS
+
+    def test_garbage_collected_world_unlinks(self):
+        world = SharedWorld.create(_toy_columns(), [0.8, 0.8, 0.8], 3)
+        name = world.handle.name
+        assert _segment_exists(name)
+        del world
+        gc.collect()
+        assert not _segment_exists(name)
+
+
+class TestAtexitSafetyNet:
+    def test_unclosed_world_is_swept_at_interpreter_exit(self, tmp_path):
+        # A child interpreter creates a world, *keeps a live reference*
+        # (so __del__ can't save it) and exits without closing: only the
+        # atexit sweep stands between it and a leaked segment.
+        script = tmp_path / "leaker.py"
+        script.write_text(
+            "import sys\n"
+            "import numpy as np\n"
+            "from repro.core.kernel import ColumnarEntries\n"
+            "from repro.parallel.shm import SharedWorld\n"
+            "cols = ColumnarEntries(\n"
+            "    probs=np.array([0.9, 0.4]),\n"
+            "    main=np.ones(2, dtype=bool),\n"
+            "    offsets=np.array([0, 2, 4], dtype=np.int64),\n"
+            "    providers=np.array([0, 1, 0, 2], dtype=np.int64),\n"
+            ")\n"
+            "world = SharedWorld.create(cols, [0.8] * 3, 3)\n"
+            "print(world.handle.name)\n"
+            "sys.stdout.flush()\n"
+            # exit with the reference still live; no close()
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        name = proc.stdout.strip()
+        assert name
+        assert not _segment_exists(name)
+        # No double-unlink / leaked-resource warnings on the way out.
+        assert "leaked shared_memory" not in proc.stderr
+        assert "FileNotFoundError" not in proc.stderr
+
+
+class TestWorkerDeathMidRound:
+    def test_worker_death_breaks_pool_but_leaks_nothing(self, example):
+        workspace = FusionWorkspace(example, CopyParams())
+        try:
+            world = workspace.broadcast(
+                _toy_columns(), [0.8] * example.n_sources, example.n_sources
+            )
+            name = world.handle.name
+            pool = workspace.pool("processes")
+            # Kill a worker mid-task: the pool breaks, the "round" raises.
+            with pytest.raises(BrokenProcessPool):
+                pool.submit(os._exit, 1).result(timeout=60)
+            # The next round must get a *fresh, working* pool, not the corpse.
+            fresh = workspace.pool("processes")
+            assert fresh is not pool
+            assert fresh.submit(os.getpid).result(timeout=60) > 0
+        finally:
+            workspace.close()
+        assert not _segment_exists(name)
+        # Idempotent re-close: no warnings, no double unlink.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            workspace.close()
+
+    def test_broken_thread_pool_attr_missing_is_fine(self, example):
+        # ThreadPoolExecutor has no _broken attribute on some versions;
+        # pool() must not trip over it.
+        workspace = FusionWorkspace(example, CopyParams())
+        try:
+            first = workspace.pool("threads")
+            assert workspace.pool("threads") is first
+        finally:
+            workspace.close()
