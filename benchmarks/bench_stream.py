@@ -1,0 +1,303 @@
+"""Streaming benchmark: sustained ingest vs verdict-update latency.
+
+The streaming service's contract is "claims keep arriving, verdicts
+stay fresh" — so the numbers that matter are the two ends of that pipe,
+measured together on a live :class:`~repro.streaming.StreamingService`:
+
+* **sustained ingest** — a synthetic claim feed (a Zipf ``book_cs``
+  world re-played as deltas) is partitioned into micro-batches and
+  pushed through the service back to back; recorded as claims/sec over
+  the whole run, epoch by epoch.
+* **verdict-update latency** — per micro-batch, the wall-clock from
+  ``submit()`` to the epoch's snapshot being published and fanned out
+  (p50/p99 across epochs).  This *includes* the micro-batcher's
+  debounce window — the number is the service's actual staleness, not
+  just the fusion cost.
+* **read verification** — after every epoch event, a
+  :class:`~repro.serving.VerdictReader` is refreshed and must land on
+  exactly the snapshot the event announced; served verdicts and truths
+  are spot-checked against the engine's live epoch state.  A read that
+  disagrees with its own snapshot fails ``check.passed``.
+* **lockstep parity** — the whole live run is replayed synchronously
+  with :func:`~repro.streaming.replay_epochs` over the same coalesced
+  partitions; final accuracies, fused truths and pair decisions must be
+  exactly equal.  This is the streamed-vs-batch INCREMENTAL guarantee,
+  asserted on every benchmark run.
+
+Unlike the speedup benches, the gate here is absolute: the artifact
+carries its own ``floors`` section (minimum claims/sec, maximum p99
+milliseconds) and ``check_regression.py`` fails when a fresh run slips
+below them.  The floors are deliberately ~5x under the measured dev-box
+numbers — they catch architectural regressions (an epoch suddenly
+re-fusing from scratch, a publish turning into a full rewrite), not
+machine-to-machine noise.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py [--smoke]
+        [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.data import ClaimDelta, coalesce_deltas
+from repro.serving import VerdictReader
+from repro.streaming import StreamEngine, StreamingService, replay_epochs
+from repro.synth import make_profile
+
+DEFAULT_OUTPUT = Path(__file__).parent / "output" / "BENCH_stream.json"
+
+#: Micro-batches the feed is partitioned into (== epochs when nothing
+#: is coalesced away).
+FULL_BATCHES = 16
+SMOKE_BATCHES = 6
+
+#: Absolute gates, embedded in the artifact for ``check_regression.py``.
+#: Measured dev-box numbers are ~5x above these (see module docstring);
+#: the smoke world is tiny enough that its throughput is dominated by
+#: the per-epoch debounce window, so it gets its own lower floor.
+FLOOR_CLAIMS_PER_SEC = 150.0
+SMOKE_FLOOR_CLAIMS_PER_SEC = 50.0
+FLOOR_P99_MS = 1_000.0
+
+#: Spot-checked verdicts/truths per epoch.
+SPOT_CHECKS = 20
+
+
+def dataset_as_deltas(dataset) -> list[ClaimDelta]:
+    """Re-play an immutable dataset as its equivalent claim-delta feed."""
+    return [
+        ClaimDelta(
+            dataset.source_names[source_id],
+            dataset.item_names[item_id],
+            dataset.value_label[value_id],
+        )
+        for source_id, item_id, value_id in dataset.iter_claims()
+    ]
+
+
+def partition(deltas: list[ClaimDelta], n: int) -> list[list[ClaimDelta]]:
+    size = (len(deltas) + n - 1) // n
+    return [deltas[i : i + size] for i in range(0, len(deltas), size)]
+
+
+def _spot_check(reader: VerdictReader, state, errors: list[str]) -> int:
+    """Verify served verdicts/truths against the live epoch state."""
+    verified = 0
+    decisions = state.detection.decisions if state.detection else {}
+    for (s1, s2), decision in list(decisions.items())[:SPOT_CHECKS]:
+        verdict = reader.get_verdict(s1, s2)
+        if verdict is None:
+            errors.append(f"observed pair ({s1},{s2}) served as None")
+            return verified
+        if verdict.copying != decision.copying:
+            errors.append(
+                f"pair ({s1},{s2}) served copying={verdict.copying} at "
+                f"snapshot {verdict.snapshot_id}, engine says "
+                f"{decision.copying}"
+            )
+            return verified
+        if verdict.snapshot_id != state.snapshot_id:
+            errors.append(
+                f"pair ({s1},{s2}) served from snapshot "
+                f"{verdict.snapshot_id}, expected {state.snapshot_id}"
+            )
+            return verified
+        verified += 1
+    for item_id in list(state.chosen)[:SPOT_CHECKS]:
+        truth = reader.get_truth(item_id)
+        if truth is None or truth.value != state.chosen[item_id]:
+            errors.append(f"truth of item {item_id} diverges from the engine")
+            return verified
+        verified += 1
+    return verified
+
+
+async def _drive(
+    store_dir: Path, batches: list[list[ClaimDelta]]
+) -> tuple[dict, list, list[str]]:
+    """Push the feed through a live service; measure and verify."""
+    engine = StreamEngine(store=store_dir)
+    service = StreamingService(
+        engine, max_batch=1 << 20, max_delay=0.05, debounce=0.005
+    )
+    errors: list[str] = []
+    latencies_s: list[float] = []
+    engine_s: list[float] = []
+    rounds: list[int] = []
+    verified = 0
+    states = []
+    reader: VerdictReader | None = None
+
+    async with service:
+        queue = service.subscribe()
+        start = time.perf_counter()
+        for batch in batches:
+            submitted = time.perf_counter()
+            service.submit(batch)
+            await service.flush()
+            event = queue.get_nowait()
+            latencies_s.append(time.perf_counter() - submitted)
+            engine_s.append(event["elapsed_seconds"])
+            rounds.append(event["rounds"])
+            state = service.state
+            states.append(state)
+            if reader is None:
+                reader = VerdictReader(store_dir)
+            else:
+                reader.refresh()
+            if reader.snapshot_id != event["snapshot_id"]:
+                errors.append(
+                    f"reader refreshed to snapshot {reader.snapshot_id}, "
+                    f"epoch event announced {event['snapshot_id']}"
+                )
+            verified += _spot_check(reader, state, errors)
+        total_s = time.perf_counter() - start
+
+    n_claims = sum(len(b) for b in batches)
+    latencies_ms = sorted(x * 1000.0 for x in latencies_s)
+
+    def pct(p: float) -> float:
+        return latencies_ms[min(len(latencies_ms) - 1, int(p * len(latencies_ms)))]
+
+    row = {
+        "n_claims": n_claims,
+        "n_batches": len(batches),
+        "epochs_run": service.epochs_run,
+        "total_seconds": total_s,
+        "claims_per_sec": n_claims / total_s,
+        "latency_p50_ms": pct(0.50),
+        "latency_p99_ms": pct(0.99),
+        "engine_p50_ms": sorted(engine_s)[len(engine_s) // 2] * 1000.0,
+        "rounds_per_epoch": rounds,
+        "reads_verified": verified,
+    }
+    return row, states, errors
+
+
+def _parity(
+    batches: list[list[ClaimDelta]], live_states: list
+) -> tuple[dict, bool]:
+    """Replay the same partitions synchronously; must match exactly."""
+    replayed = replay_epochs([coalesce_deltas(b) for b in batches])
+    mismatches: list[str] = []
+    if len(replayed) != len(live_states):
+        mismatches.append(
+            f"epoch count: live {len(live_states)} vs replay {len(replayed)}"
+        )
+    for state, result in zip(live_states, replayed):
+        if state.accuracies != tuple(result.fusion.accuracies):
+            mismatches.append(f"epoch {state.epoch}: accuracies diverge")
+        if state.chosen != result.fusion.chosen:
+            mismatches.append(f"epoch {state.epoch}: fused truths diverge")
+        live_decisions = state.detection.decisions if state.detection else {}
+        if live_decisions != result.fusion.final_detection().decisions:
+            mismatches.append(f"epoch {state.epoch}: pair decisions diverge")
+    row = {
+        "epochs_compared": min(len(replayed), len(live_states)),
+        "mismatches": mismatches[:5],
+    }
+    return row, not mismatches
+
+
+def run(smoke: bool = False) -> dict:
+    world = make_profile("book_cs", scale=0.03 if smoke else 0.08, seed=11)
+    feed = dataset_as_deltas(world.dataset)
+    batches = partition(feed, SMOKE_BATCHES if smoke else FULL_BATCHES)
+
+    with tempfile.TemporaryDirectory(prefix="bench_stream_") as tmp:
+        stream, states, errors = asyncio.run(_drive(Path(tmp) / "store", batches))
+    parity, parity_ok = _parity(batches, states)
+
+    floors = {
+        "claims_per_sec": (
+            SMOKE_FLOOR_CLAIMS_PER_SEC if smoke else FLOOR_CLAIMS_PER_SEC
+        ),
+        "p99_ms": FLOOR_P99_MS,
+        "note": (
+            "absolute gates: a fresh run must sustain at least "
+            "claims_per_sec and keep verdict-update p99 under p99_ms; "
+            "check_regression.py reads these from the artifact itself"
+        ),
+    }
+    reads_ok = not errors and stream["reads_verified"] > 0
+    passed = reads_ok and parity_ok
+    return {
+        "benchmark": "stream",
+        "smoke": smoke,
+        "world": {
+            "profile": "book_cs",
+            "n_sources": world.dataset.n_sources,
+            "n_items": world.dataset.n_items,
+            "n_claims": stream["n_claims"],
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "timings": stream,
+        "parity": parity,
+        "floors": floors,
+        "check": {
+            "target": (
+                "every post-epoch read verifies against the snapshot it "
+                "claims to come from, and the live run is lockstep-equal "
+                "to a synchronous replay of the same epoch partitions"
+            ),
+            "reads_verified": reads_ok,
+            "read_errors": errors[:3],
+            "lockstep_parity": parity_ok,
+            "passed": passed,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small world for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="artifact path"
+    )
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    world = report["world"]
+    timings = report["timings"]
+    print(
+        f"world: {world['n_sources']} sources, {world['n_items']} items, "
+        f"{world['n_claims']} claims in {timings['n_batches']} micro-batches"
+    )
+    print(
+        f"ingest: {timings['claims_per_sec']:,.0f} claims/s sustained over "
+        f"{timings['epochs_run']} epochs ({timings['total_seconds']:.2f}s)"
+    )
+    print(
+        f"verdict updates: p50={timings['latency_p50_ms']:.1f}ms "
+        f"p99={timings['latency_p99_ms']:.1f}ms (engine "
+        f"p50={timings['engine_p50_ms']:.1f}ms); "
+        f"{timings['reads_verified']} reads verified"
+    )
+    print(
+        f"parity: {report['parity']['epochs_compared']} epochs compared, "
+        f"lockstep={report['check']['lockstep_parity']}"
+    )
+    print(f"check: passed={report['check']['passed']}")
+    print(f"artifact -> {args.output}")
+    return 0 if report["check"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,9 @@ baselines under ``benchmarks/output/`` and **fails** (exit code 1) when:
   ``run_fusion`` reused-workspace speedup drop below the ROADMAP's 3x
   floor, or the scale sweep's sparse-vs-reference speedups drop below
   their parity floor, or the serving layer's LRU read API drops below
-  its 10x floor over recomputed verdicts (``BENCH_FLOORS``)
+  its 10x floor over recomputed verdicts, or the streaming service
+  slips below the absolute ingest/latency floors recorded in its own
+  artifact (``BENCH_FLOORS``)
   (after a measurement-noise tolerance — speedups are a ratio of two
   wall-clock numbers and swing ~10% run to run even on an idle machine,
   so the hard cut is ``floor * (1 - tolerance)``; anything between the
@@ -30,6 +32,7 @@ Run locally::
     PYTHONPATH=src python benchmarks/bench_fusion_pipeline.py --smoke --output /tmp/fresh/BENCH_fusion.json
     PYTHONPATH=src python benchmarks/bench_scale_sweep.py --smoke --output /tmp/fresh/BENCH_scale.json
     PYTHONPATH=src python benchmarks/bench_serve.py --smoke --output /tmp/fresh/BENCH_serve.json
+    PYTHONPATH=src python benchmarks/bench_stream.py --smoke --output /tmp/fresh/BENCH_stream.json
     python benchmarks/check_regression.py --fresh /tmp/fresh
 
 CI runs exactly this sequence (see ``.github/workflows/ci.yml``).
@@ -60,7 +63,11 @@ DEFAULT_TOLERANCE = 0.15
 #: replaced keeps that honest.  The serving bench gates the LRU read
 #: API at 10x over recomputing verdicts from the in-memory
 #: ``DetectionResult`` — below that the store isn't paying for itself.
-BENCH_FLOORS = {"scale": 1.0, "serve": 10.0}
+#: The streaming bench gates *absolute* figures (sustained claims/sec,
+#: verdict-update p99) against floors the artifact itself records; the
+#: ratios handed to the gate are measured/floor, so parity (1.0) is the
+#: line.
+BENCH_FLOORS = {"scale": 1.0, "serve": 10.0, "stream": 1.0}
 
 
 def _load(directory: Path, name: str) -> dict | None:
@@ -99,6 +106,17 @@ def _speedups(report: dict, benchmark: str) -> dict[str, float]:
         }
     if benchmark == "serve":
         return {"read_api": report["timings_seconds"]["read_api"]["speedup"]}
+    if benchmark == "stream":
+        # Absolute gates expressed as measured/floor ratios so the
+        # shared parity-floor machinery applies: >= 1.0 means the run
+        # sustained the required ingest rate / stayed under the latency
+        # ceiling recorded in the artifact's own ``floors`` section.
+        floors = report["floors"]
+        timings = report["timings"]
+        return {
+            "ingest": timings["claims_per_sec"] / floors["claims_per_sec"],
+            "latency_p99": floors["p99_ms"] / timings["latency_p99_ms"],
+        }
     return {}
 
 
@@ -117,6 +135,7 @@ def check(
         ("BENCH_fusion.json", "fusion", True),
         ("BENCH_scale.json", "scale", False),
         ("BENCH_serve.json", "serve", True),
+        ("BENCH_stream.json", "stream", True),
     ]
     for filename, benchmark, required in specs:
         bench_floor = BENCH_FLOORS.get(benchmark, floor)
@@ -163,6 +182,14 @@ def check(
                     f"FAIL  {filename}: served replies diverge, concurrent "
                     f"reads failed verification, or delta snapshots rewrote "
                     f"more than the re-opened pairs"
+                )
+                failures += 1
+        if benchmark == "stream":
+            if not fresh["check"]["passed"]:
+                print(
+                    f"FAIL  {filename}: streamed reads failed snapshot "
+                    f"verification or the live run diverged from its "
+                    f"synchronous replay"
                 )
                 failures += 1
         if benchmark == "scale":

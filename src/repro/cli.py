@@ -8,6 +8,14 @@ Subcommands:
 * ``fuse`` — full iterative fusion with a chosen detector; prints the
   fused truths, final accuracies, and detected copying.
 * ``stats`` — Table V-style statistics of a claims file.
+* ``bench`` — the Table VI/VII method grid on a claims file.
+* ``serve-snapshot`` — run fusion and publish versioned verdict
+  snapshots into a store directory.
+* ``query`` — read a published verdict store (pair verdicts, fused
+  truths, top copiers) without any detection run.
+* ``serve`` — the streaming service: a long-running HTTP/SSE server
+  that ingests claim deltas continuously, re-fuses in micro-batched
+  epochs, and publishes every epoch to a verdict store.
 * ``conformance`` — the differential grid fuzzer: sweep the
   (method x backend x executor x reduce x partition x fusion) grid
   against the pure-Python reference, persist divergent worlds into the
@@ -446,6 +454,84 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+    import tempfile
+
+    from .streaming import StreamEngine, StreamingServer, StreamingService
+
+    params = _params(args)
+    store = args.store or tempfile.mkdtemp(prefix="repro-verdicts-")
+
+    async def _run() -> None:
+        engine = StreamEngine(
+            store=store,
+            params=params,
+            config=FusionConfig(max_rounds=args.max_rounds),
+            warm_start=not args.cold_epochs,
+        )
+        service = StreamingService(
+            engine,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            debounce=args.debounce,
+        )
+        server = StreamingServer(service, host=args.host, port=args.port)
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, shutdown.set)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        await server.start()
+        if args.seed_claims:
+            dataset = load_claims(args.seed_claims)
+            from .data import ClaimDelta
+
+            service.submit(
+                ClaimDelta(
+                    dataset.source_names[s],
+                    dataset.item_names[i],
+                    dataset.value_label[v],
+                )
+                for s, i, v in dataset.iter_claims()
+            )
+            await service.flush()
+            state = service.state
+            print(
+                f"seeded epoch {state.epoch}: {state.dataset.n_sources} "
+                f"sources, {state.dataset.n_items} items "
+                f"(snapshot {state.snapshot_id})",
+                flush=True,
+            )
+        print(
+            f"streaming service on http://{args.host}:{server.port} "
+            f"(verdict store: {store})",
+            flush=True,
+        )
+        print(
+            "endpoints: POST /claims · GET /events (SSE) · /verdict "
+            "· /truth · /explain · /stats — Ctrl-C drains and exits",
+            flush=True,
+        )
+        try:
+            await shutdown.wait()
+        finally:
+            await server.stop(drain=True)
+            state = service.state
+            if state is not None:
+                print(
+                    f"drained: epoch {state.epoch}, snapshot "
+                    f"{state.snapshot_id} is CURRENT in {store}",
+                    flush=True,
+                )
+
+    asyncio.run(_run())
+    return 0
+
+
 def _cmd_conformance(args: argparse.Namespace) -> int:
     import json
 
@@ -566,7 +652,10 @@ def build_parser() -> argparse.ArgumentParser:
         default="incremental",
     )
     p_fuse.add_argument("--gold", help="gold CSV for fusion accuracy")
-    p_fuse.add_argument("--max-rounds", type=int, default=12)
+    p_fuse.add_argument(
+        "--max-rounds", type=int, default=12,
+        help="fusion round cap (default 12)",
+    )
     p_fuse.add_argument(
         "--truths", type=int, default=0, metavar="N", help="print first N fused truths"
     )
@@ -604,7 +693,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(METHODS) + ["incremental", "none"],
         default="incremental",
     )
-    p_srv.add_argument("--max-rounds", type=int, default=12)
+    p_srv.add_argument(
+        "--max-rounds", type=int, default=12,
+        help="fusion round cap (default 12)",
+    )
     _add_params(p_srv)
     p_srv.set_defaults(func=_cmd_serve_snapshot)
 
@@ -631,6 +723,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the K most-copying sources",
     )
     p_query.set_defaults(func=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running streaming service: ingest claim deltas over "
+        "HTTP, re-fuse in micro-batched epochs, publish every epoch to "
+        "a verdict store, stream updates over SSE",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8731,
+        help="bind port (0 picks a free one and prints it)",
+    )
+    p_serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="verdict-store directory every epoch publishes into "
+        "(default: a fresh temporary directory, printed at startup)",
+    )
+    p_serve.add_argument(
+        "--seed-claims",
+        default=None,
+        metavar="CSV",
+        help="claims file to ingest as epoch 1 before accepting traffic",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=512,
+        metavar="N",
+        help="pending deltas that trigger an immediate epoch (default 512)",
+    )
+    p_serve.add_argument(
+        "--max-delay",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="hard staleness bound: an epoch flushes at most this long "
+        "after its first pending delta (default 0.5)",
+    )
+    p_serve.add_argument(
+        "--debounce",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="quiet period a bursty source must hold before an early "
+        "flush (default 0.05; capped at --max-delay)",
+    )
+    p_serve.add_argument(
+        "--max-rounds", type=int, default=12,
+        help="fusion round cap per epoch (default 12)",
+    )
+    p_serve.add_argument(
+        "--cold-epochs",
+        action="store_true",
+        help="re-fuse every epoch from uniform accuracies instead of "
+        "warm-starting from the previous epoch (slower, but each epoch "
+        "is bit-identical to a batch run over the accumulated claims)",
+    )
+    _add_params(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_conf = sub.add_parser(
         "conformance",

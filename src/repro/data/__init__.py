@@ -2,6 +2,7 @@
 
 from .dataset import Dataset, DatasetBuilder, DatasetStats
 from .goldstandard import GoldStandard
+from .stream import ClaimDelta, ClaimLedger, LedgerUpdate, coalesce_deltas
 from .loader import load_claims, load_gold, save_claims, save_gold
 from .examples import (
     MOTIVATING_ACCURACIES,
@@ -15,10 +16,14 @@ from .examples import (
 )
 
 __all__ = [
+    "ClaimDelta",
+    "ClaimLedger",
     "Dataset",
     "DatasetBuilder",
     "DatasetStats",
     "GoldStandard",
+    "LedgerUpdate",
+    "coalesce_deltas",
     "load_claims",
     "load_gold",
     "save_claims",

@@ -60,12 +60,18 @@ class FusionConfig:
         min_rounds: never stop before this many rounds (copy decisions
             swing in the first two rounds; see Section VI footnote 7).
         initial_accuracy: the uniform starting accuracy.
+        initial_accuracies: per-source starting accuracies overriding the
+            uniform ``initial_accuracy``.  The streaming engine warm-starts
+            each epoch from the previous epoch's converged accuracies so
+            the loop re-converges in a couple of rounds instead of from
+            scratch.  Must have one entry per source when given.
     """
 
     max_rounds: int = 12
     tolerance: float = 0.02
     min_rounds: int = 3
     initial_accuracy: float = 0.8
+    initial_accuracies: Sequence[float] | None = None
 
 
 @dataclass
@@ -190,8 +196,9 @@ def run_fusion(
         The converged :class:`FusionResult`.
 
     Raises:
-        ValueError: for an unknown ``fusion_backend``, or a ``workspace``
-            built for a different dataset.
+        ValueError: for an unknown ``fusion_backend``, a ``workspace``
+            built for a different dataset, or mis-sized
+            ``config.initial_accuracies``.
     """
     cfg = config or FusionConfig()
     backend = params.backend if fusion_backend is None else fusion_backend
@@ -250,7 +257,15 @@ def run_fusion(
     try:
         if detector_bound:
             detector.bind_workspace(workspace)
-        accuracies = [cfg.initial_accuracy] * dataset.n_sources
+        if cfg.initial_accuracies is not None:
+            if len(cfg.initial_accuracies) != dataset.n_sources:
+                raise ValueError(
+                    "initial_accuracies must have one entry per source "
+                    f"({len(cfg.initial_accuracies)} != {dataset.n_sources})"
+                )
+            accuracies = [float(a) for a in cfg.initial_accuracies]
+        else:
+            accuracies = [cfg.initial_accuracy] * dataset.n_sources
         probabilities = _value_probs(accuracies)
         rounds: list[RoundRecord] = []
         converged = False

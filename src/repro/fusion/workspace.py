@@ -224,6 +224,31 @@ class FusionWorkspace:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def rebind(self, dataset: Dataset) -> None:
+        """Point the workspace at a new dataset, keeping pools and shm.
+
+        The streaming service's claim ledger produces a fresh immutable
+        :class:`Dataset` every epoch, which invalidates the dataset-derived
+        caches (shared-item counts, fusion columns, entry skeleton) — but
+        *not* the expensive runtime state: the persistent executor pools
+        keep their warm workers, and the shared-memory block is reused as
+        long as the columnar layout still fits (:meth:`broadcast` already
+        falls back to a fresh block on a layout change).  Rebinding to the
+        same dataset object is a no-op.
+
+        Raises:
+            RuntimeError: when the workspace is closed.
+        """
+        if self.closed:
+            raise RuntimeError("the fusion workspace is closed")
+        if dataset is self.dataset:
+            return
+        self.dataset = dataset
+        self._shared_items = None
+        self._fusion_columns = None
+        self._skeleton = None
+        self._value_row = None
+
     def close(self) -> None:
         """Shut down pools and unlink the shared block (idempotent)."""
         if self.closed:

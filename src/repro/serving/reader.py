@@ -254,6 +254,7 @@ class VerdictReader:
 
     @property
     def n_sources(self) -> int:
+        """Source count of the served snapshot (the pair-key stride)."""
         return self._view.n_sources
 
     @property

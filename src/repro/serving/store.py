@@ -87,6 +87,7 @@ class PairRows:
 
     @classmethod
     def empty(cls) -> "PairRows":
+        """A zero-row pair table (the state before any publish)."""
         return cls(
             keys=np.empty(0, dtype=np.int64),
             c_fwd=np.empty(0),
@@ -139,6 +140,7 @@ class PairRows:
         )
 
     def to_arrays(self, prefix: str = "pair_") -> dict[str, np.ndarray]:
+        """Flatten to the prefixed column dict the codec serializes."""
         out = {prefix + "keys": self.keys}
         for name in PAIR_FLOAT_COLUMNS:
             out[prefix + name] = getattr(self, name)
@@ -150,6 +152,11 @@ class PairRows:
     def from_arrays(
         cls, arrays: Mapping[str, np.ndarray], prefix: str = "pair_"
     ) -> "PairRows":
+        """Rebuild from a decoded snapshot's column dict.
+
+        Raises:
+            ServingError: when a pair column is missing.
+        """
         try:
             return cls(
                 keys=arrays[prefix + "keys"],
@@ -180,6 +187,7 @@ class ItemRows:
 
     @classmethod
     def empty(cls) -> "ItemRows":
+        """A zero-row item table (the state before any publish)."""
         return cls(
             ids=np.empty(0, dtype=np.int64),
             truth=np.empty(0, dtype=np.int64),
@@ -227,6 +235,7 @@ class ItemRows:
         )
 
     def to_arrays(self, prefix: str = "item_") -> dict[str, np.ndarray]:
+        """Flatten to the prefixed column dict the codec serializes."""
         return {
             prefix + "ids": self.ids,
             prefix + "truth": self.truth,
@@ -239,6 +248,11 @@ class ItemRows:
     def from_arrays(
         cls, arrays: Mapping[str, np.ndarray], prefix: str = "item_"
     ) -> "ItemRows":
+        """Rebuild from a decoded snapshot's column dict.
+
+        Raises:
+            ServingError: when an item column is missing.
+        """
         try:
             return cls(
                 ids=arrays[prefix + "ids"],
@@ -372,6 +386,7 @@ class VerdictStore:
     # Pointers and paths
     # ------------------------------------------------------------------
     def snapshot_path(self, snapshot_id: int) -> Path:
+        """The on-disk path of a snapshot id (``snap-NNNNNNNN.rvs``)."""
         return self.root / (_SNAP_PATTERN % snapshot_id)
 
     def current_id(self) -> int | None:
@@ -463,11 +478,16 @@ class VerdictStore:
         n_sources: int,
         method: str = "unknown",
         round_no: int | None = None,
+        labels: Mapping[str, Sequence[str]] | None = None,
     ) -> int:
         """Publish a delta over ``base_id``; returns the new snapshot id.
 
         ``merged_pairs`` is the post-delta pair state, used only to
-        recompute the (always-complete) copier ranking.
+        recompute the (always-complete) copier ranking.  ``labels``
+        replaces the chain's display-label tables when given — a
+        streaming publisher passes the full (grown) tables whenever new
+        items or values were interned since the last snapshot, so
+        readers never hold a value id with no label.
         """
         snapshot_id = self._next_id()
         copier_sources, copier_scores = copier_totals(merged_pairs, n_sources)
@@ -484,6 +504,8 @@ class VerdictStore:
             "n_removed_pairs": int(len(removed_pair_keys)),
             "n_removed_items": int(len(removed_item_ids)),
         }
+        if labels is not None:
+            meta["labels"] = {k: list(v) for k, v in labels.items()}
         arrays = {
             **pair_upserts.to_arrays(),
             **item_upserts.to_arrays(),
@@ -578,6 +600,7 @@ class SnapshotPublisher:
         self._prev_detection: "DetectionResult | None" = None
         self._prev_pairs: PairRows = PairRows.empty()
         self._prev_items: ItemRows = ItemRows.empty()
+        self._published_label_sizes: tuple[int, int, int] | None = None
 
     def _labels(self) -> dict[str, Sequence[str]] | None:
         if not self.include_labels:
@@ -587,6 +610,52 @@ class SnapshotPublisher:
             "items": self.dataset.item_names,
             "values": self.dataset.value_label,
         }
+
+    def _label_sizes(self) -> tuple[int, int, int]:
+        dataset = self.dataset
+        return (dataset.n_sources, dataset.n_items, dataset.n_values)
+
+    def _delta_labels(self) -> dict[str, Sequence[str]] | None:
+        """Full label tables when they grew since the last publish.
+
+        A streaming epoch can intern new items and values (new sources
+        force a fresh publisher — pair keys are stride-dependent), so a
+        delta must re-ship the label tables whenever their sizes moved;
+        otherwise a reader resolving a freshly-interned value id against
+        the stale tables would fall off the end.  Unchanged sizes ship no
+        labels: interning is append-only, so same size means same tables.
+        """
+        if not self.include_labels:
+            return None
+        if self._published_label_sizes == self._label_sizes():
+            return None
+        return self._labels()
+
+    def rebind(self, dataset: "Dataset") -> None:
+        """Point the publisher at a grown snapshot of the same world.
+
+        Streaming epochs hand the publisher a fresh immutable
+        :class:`~repro.data.Dataset` each time the claim ledger moves.
+        Growth in items or values is fine (interning is append-only and
+        ids are stable; the next delta re-ships the label tables via
+        :meth:`_delta_labels`) — but a changed *source count* is not,
+        because stored pair keys are ``s1 * n_sources + s2``: every key
+        in the published chain would decode differently under the new
+        stride.  Callers must create a fresh publisher (which starts
+        with a full snapshot) when sources appear.
+
+        Raises:
+            ValueError: when ``dataset.n_sources`` differs from the
+                bound dataset's.
+        """
+        if dataset.n_sources != self.dataset.n_sources:
+            raise ValueError(
+                "pair keys are stride-dependent: a publisher cannot be "
+                f"rebound across a source-count change "
+                f"({self.dataset.n_sources} -> {dataset.n_sources}); "
+                "create a fresh SnapshotPublisher instead"
+            )
+        self.dataset = dataset
 
     def publish_round(
         self,
@@ -626,6 +695,8 @@ class SnapshotPublisher:
         self.snapshot_ids.append(snapshot_id)
         self._prev_detection = detection
         self._prev_items = items
+        if self.include_labels:
+            self._published_label_sizes = self._label_sizes()
         return snapshot_id
 
     def _publish_update(
@@ -677,6 +748,7 @@ class SnapshotPublisher:
                 n_sources,
                 method=method,
                 round_no=round_no,
+                labels=self._delta_labels(),
             )
         self._prev_pairs = merged_pairs
         return snapshot_id

@@ -1,0 +1,151 @@
+"""Blocking stdlib client for the streaming HTTP/SSE API.
+
+:class:`StreamClient` wraps :mod:`http.client` so scripts, benchmarks
+and tests can talk to a running ``repro-copydetect serve`` instance
+without any third-party HTTP library.  One client is one host:port; each
+call opens a short-lived connection (the server replies
+``Connection: close``), except :meth:`events`, which holds its
+connection open and yields parsed SSE frames as they arrive.
+
+Example::
+
+    client = StreamClient("127.0.0.1", 8731)
+    client.post_claims([{"source": "S0", "item": "NJ", "value": "Trenton"}])
+    for event in client.events():        # blocks between epochs
+        print(event["epoch"], event["snapshot_id"])
+        break
+    print(client.get_truth("NJ"))
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterable, Iterator, Mapping
+
+from ..data import ClaimDelta
+
+
+class StreamClientError(RuntimeError):
+    """A non-2xx reply from the streaming server (carries the status)."""
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+
+
+class StreamClient:
+    """Minimal blocking client for one streaming server.
+
+    Args:
+        host: server address.
+        port: server port.
+        timeout: per-request socket timeout in seconds; also the maximum
+            blocking time between SSE events in :meth:`events`.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8731, timeout: float = 30.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            try:
+                decoded = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = {"error": payload[:200].decode("latin-1")}
+            if response.status >= 400:
+                raise StreamClientError(
+                    response.status, str(decoded.get("error", decoded))
+                )
+            return decoded
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # The API surface
+    # ------------------------------------------------------------------
+    def post_claims(
+        self, claims: Iterable[ClaimDelta | Mapping[str, str]]
+    ) -> dict:
+        """Submit claim deltas; returns the server's acceptance reply.
+
+        Accepts :class:`~repro.data.ClaimDelta` objects or plain
+        ``{"source", "item", "value"}`` mappings.  The reply arrives as
+        soon as the deltas enter the server's micro-batcher — watch
+        :meth:`events` to learn when the epoch that includes them lands.
+        """
+        wire = [
+            delta.to_json() if isinstance(delta, ClaimDelta) else dict(delta)
+            for delta in claims
+        ]
+        body = json.dumps({"claims": wire}).encode("utf-8")
+        return self._request("POST", "/claims", body)
+
+    def get_verdict(self, s1: int, s2: int) -> dict | None:
+        """The served pair verdict (None when never observed)."""
+        return self._request("GET", f"/verdict?s1={int(s1)}&s2={int(s2)}")["verdict"]
+
+    def get_truth(self, item: int | str) -> dict | None:
+        """The served fused truth for an item id or name."""
+        from urllib.parse import quote
+
+        return self._request("GET", f"/truth?item={quote(str(item))}")["truth"]
+
+    def explain_pair(self, s1: int, s2: int) -> dict:
+        """Live evidence breakdown for a pair from the latest epoch."""
+        return self._request("GET", f"/explain?s1={int(s1)}&s2={int(s2)}")
+
+    def stats(self) -> dict:
+        """Server ingestion counters and world dimensions."""
+        return self._request("GET", "/stats")
+
+    def events(self) -> Iterator[dict]:
+        """Yield parsed SSE event dicts from ``GET /events`` as they arrive.
+
+        Blocks up to ``timeout`` seconds between events (a
+        ``socket.timeout`` escapes to the caller); ends when the server
+        shuts the stream down.  Each yielded dict carries the frame's
+        ``data:`` JSON plus an ``"event"`` key with the frame type
+        (``hello``, ``epoch``, ``shutdown``).
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", "/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise StreamClientError(
+                    response.status, response.read()[:200].decode("latin-1")
+                )
+            event_type = "message"
+            data_lines: list[str] = []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith("event:"):
+                    event_type = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                elif not line and data_lines:
+                    payload = json.loads("\n".join(data_lines))
+                    if isinstance(payload, dict):
+                        payload.setdefault("event", event_type)
+                    yield payload
+                    if event_type == "shutdown":
+                        return
+                    event_type = "message"
+                    data_lines = []
+        finally:
+            conn.close()

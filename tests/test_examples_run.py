@@ -37,6 +37,9 @@ CASES = [
     # under backend="numpy" must reproduce the python reference on a
     # REAL-profile (zipf-coverage) world — the script itself asserts it.
     ("incremental_soak.py", ["0.08"]),
+    # The streaming stack end to end (service, epochs, queries) plus
+    # the live-vs-replay lockstep parity check the script asserts.
+    ("streaming_quickstart.py", []),
 ]
 
 
