@@ -16,6 +16,10 @@ Subcommands:
 * ``serve`` — the streaming service: a long-running HTTP/SSE server
   that ingests claim deltas continuously, re-fuses in micro-batched
   epochs, and publishes every epoch to a verdict store.
+* ``cluster-worker`` — run one remote-execution worker: a long-lived
+  TCP loop that caches the broadcast world, scans shipped partitions
+  and merges partials peer-to-peer for drivers running
+  ``detect``/``fuse`` with ``--executor remote``.
 * ``conformance`` — the differential grid fuzzer: sweep the
   (method x backend x executor x reduce x partition x fusion) grid
   against the pure-Python reference, persist divergent worlds into the
@@ -31,6 +35,7 @@ from pathlib import Path
 
 from .core import (
     BACKENDS,
+    EXECUTORS,
     METHODS,
     PAIR_LAYOUTS,
     PARALLEL_METHODS,
@@ -146,11 +151,19 @@ def _add_parallel(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--executor",
-        choices=["serial", "threads", "processes"],
+        choices=list(EXECUTORS),
         default="serial",
-        help="how partitions run: in-process, a thread pool, or a real "
-        "process pool (the columnar world is broadcast via shared "
-        "memory under --backend numpy)",
+        help="how partitions run: in-process ('serial'), a thread pool, "
+        "a real process pool (the columnar world is broadcast via shared "
+        "memory under --backend numpy), or 'remote' — cluster workers "
+        "over TCP (see --workers and the cluster-worker subcommand)",
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="cluster worker addresses for --executor remote "
+        "(default: the REPRO_CLUSTER_WORKERS environment variable)",
     )
     parser.add_argument(
         "--reduce",
@@ -168,7 +181,24 @@ def _add_parallel(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _detect_parallel(args, dataset, probabilities, accuracies, params):
+def _cluster_from_args(args):
+    """Build the CLI-owned cluster executor for ``--executor remote``.
+
+    Returns None for local executors.  The caller closes it (and may
+    print its wire/timing stats first).
+    """
+    if getattr(args, "executor", "serial") != "remote":
+        return None
+    from .cluster import ClusterError, resolve_cluster
+
+    try:
+        executor, _ = resolve_cluster(args.workers)
+        return executor
+    except ClusterError as exc:
+        raise SystemExit(str(exc))
+
+
+def _detect_parallel(args, dataset, probabilities, accuracies, params, cluster=None):
     """Route ``detect --n-partitions > 1`` through the parallel engine."""
     from .parallel import detect_hybrid_parallel, detect_index_parallel
 
@@ -182,6 +212,7 @@ def _detect_parallel(args, dataset, probabilities, accuracies, params):
             strategy="work" if args.partition_by == "work" else "stride",
             executor=args.executor,
             reduce=args.reduce,
+            cluster=cluster,
         )
     if args.method == "hybrid":
         return detect_hybrid_parallel(
@@ -194,6 +225,7 @@ def _detect_parallel(args, dataset, probabilities, accuracies, params):
             epoch_size=args.epoch_size,
             reduce=args.reduce,
             partition_by=args.partition_by,
+            cluster=cluster,
         )
     raise SystemExit(
         f"--n-partitions > 1 supports methods 'index' and 'hybrid', "
@@ -207,8 +239,16 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     probabilities = vote_probabilities(dataset)
     accuracies = [0.8] * dataset.n_sources
     start = time.perf_counter()
+    cluster = _cluster_from_args(args) if args.n_partitions > 1 else None
     if args.n_partitions > 1:
-        result = _detect_parallel(args, dataset, probabilities, accuracies, params)
+        try:
+            result = _detect_parallel(
+                args, dataset, probabilities, accuracies, params, cluster=cluster
+            )
+        except Exception:
+            if cluster is not None:
+                cluster.close()
+            raise
     else:
         result = detect(
             dataset,
@@ -243,6 +283,9 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if cluster is not None:
+        print(cluster.stats.summary())
+        cluster.close()
     if args.explain:
         from .core import explain_pair
 
@@ -270,11 +313,13 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         )
     if args.executor != "serial" and args.n_partitions <= 1:
         raise SystemExit("--executor requires --n-partitions > 1")
+    cluster = None
     if args.method == "none":
         detector = None
     elif args.method == "incremental":
         detector = IncrementalDetector(params, epoch_size=args.epoch_size)
     else:
+        cluster = _cluster_from_args(args)
         detector = SingleRoundDetector(
             params,
             method=args.method,
@@ -283,9 +328,15 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
             executor=args.executor,
             reduce=args.reduce,
             partition_by=args.partition_by,
+            cluster=cluster,
         )
     config = FusionConfig(max_rounds=args.max_rounds)
-    result = run_fusion(dataset, params, detector=detector, config=config)
+    try:
+        result = run_fusion(dataset, params, detector=detector, config=config)
+    finally:
+        if cluster is not None:
+            print(cluster.stats.summary())
+            cluster.close()
 
     print(
         f"converged={result.converged} rounds={result.n_rounds} "
@@ -529,6 +580,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 )
 
     asyncio.run(_run())
+    return 0
+
+
+def _cmd_cluster_worker(args: argparse.Namespace) -> int:
+    """Run one cluster worker loop until interrupted."""
+    from .cluster import serve_worker
+
+    server = serve_worker(args.host, args.port)
+    host, port = server.server_address[:2]
+    # The parent (LocalCluster, or a human wiring --workers) parses
+    # this exact line; keep it in sync with repro.cluster.local.
+    print(f"cluster worker listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -788,6 +857,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_params(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "cluster-worker",
+        help="run a cluster worker: scans partitions and merges partials "
+        "shipped by a driver running detect/fuse --executor remote",
+    )
+    p_worker.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    p_worker.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default 0: the kernel picks a free one, printed "
+        "on startup)",
+    )
+    p_worker.set_defaults(func=_cmd_cluster_worker)
 
     p_conf = sub.add_parser(
         "conformance",

@@ -1,0 +1,606 @@
+"""Driver-side cluster executor: broadcast, schedule, tree-reduce.
+
+:class:`ClusterExecutor` is the remote sibling of the in-process
+thread/process pools behind ``executor="threads"/"processes"``: the
+parallel engine hands it the same position partitions and gets back
+one merged :class:`~repro.core.kernel.PairTable`, so results are
+bit-identical to the local executors by construction —
+
+* the map step runs the identical :func:`scan_columnar` over identical
+  bytes (arrays travel as raw buffers, never re-encoded floats);
+* the reduce step replays the engine's exact associativity: ``"flat"``
+  merges all non-empty partials in partition order in one
+  :meth:`PairTable.merge`, ``"tree"`` pairs them ``(0,1), (2,3), ...``
+  level by level exactly like ``_tree_reduce`` — but each pair merges
+  **on a worker**, pulling the right-hand partial peer-to-peer, so the
+  driver only receives the root.
+
+Scheduling is LPT over the engine's per-partition work estimates
+(:func:`~repro.parallel.partition.assign_buckets_lpt`): partitions are
+independent of the worker count, so 7 work-balanced partitions run on
+1, 2 or 4 workers with identical results and balanced busy time.
+
+The world (columnar entries + accuracies) is broadcast to each worker
+**once per executor session** and thereafter rewritten in place via
+``world-update`` frames carrying only the fields whose bytes changed —
+the TCP mirror of :meth:`SharedWorld.write
+<repro.parallel.shm.SharedWorld.write>` — so multi-round fusion never
+re-ships an unchanged provider structure.
+
+Fault handling: a worker dying mid-round (killed process, dropped
+socket, hung past the timeout) marks its connection dead and the whole
+round — scans are pure and partials on the dead worker are gone —
+is retried once on the surviving workers.  A second failure, or a
+round with no workers left, raises one clear
+:class:`~repro.cluster.wire.ClusterError`; callers never see a raw
+``ConnectionResetError``.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.kernel import PairTable
+from ..parallel.partition import assign_buckets_lpt
+from .wire import ClusterError, recv_message, send_message
+from .worker import WORLD_FIELDS, table_from_arrays
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker wire and timing accounting (one per connection).
+
+    Attributes:
+        tasks: scan tasks executed.
+        merges: tree-reduce merges executed.
+        worlds: full world broadcasts received (the broadcast-once
+            proof: stays at 1 across a multi-round fusion session).
+        updates: in-place ``world-update`` frames received.
+        world_bytes: bytes of full world broadcasts.
+        update_bytes: bytes of world-update frames.
+        task_bytes: bytes of task frames (positions + params).
+        result_bytes: bytes of partial tables received back.
+        busy_seconds: worker-reported scan + merge time.
+        failures: rounds this worker died in.
+    """
+
+    tasks: int = 0
+    merges: int = 0
+    worlds: int = 0
+    updates: int = 0
+    world_bytes: int = 0
+    update_bytes: int = 0
+    task_bytes: int = 0
+    result_bytes: int = 0
+    busy_seconds: float = 0.0
+    failures: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for JSON artifacts and tests)."""
+        return dict(self.__dict__)
+
+
+@dataclass
+class ClusterStats:
+    """Aggregated executor statistics across all workers.
+
+    Attributes:
+        workers: per-address :class:`WorkerStats`.
+        rounds: map/reduce rounds executed.
+        retries: rounds that were re-run after a worker death.
+    """
+
+    workers: dict[str, WorkerStats] = field(default_factory=dict)
+    rounds: int = 0
+    retries: int = 0
+
+    def _total(self, name: str):
+        return sum(getattr(w, name) for w in self.workers.values())
+
+    @property
+    def broadcast_bytes(self) -> int:
+        """Bytes shipped as full world broadcasts, all workers."""
+        return self._total("world_bytes")
+
+    @property
+    def update_bytes(self) -> int:
+        """Bytes shipped as in-place world updates, all workers."""
+        return self._total("update_bytes")
+
+    @property
+    def task_bytes(self) -> int:
+        """Bytes shipped as task frames, all workers."""
+        return self._total("task_bytes")
+
+    @property
+    def result_bytes(self) -> int:
+        """Bytes received back as partial tables, all workers."""
+        return self._total("result_bytes")
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for JSON artifacts and tests)."""
+        return {
+            "rounds": self.rounds,
+            "retries": self.retries,
+            "broadcast_bytes": self.broadcast_bytes,
+            "update_bytes": self.update_bytes,
+            "task_bytes": self.task_bytes,
+            "result_bytes": self.result_bytes,
+            "workers": {
+                label: stats.as_dict() for label, stats in self.workers.items()
+            },
+        }
+
+    def summary(self) -> str:
+        """Multi-line human summary (the CLI's ``--executor remote`` report)."""
+        lines = [
+            f"cluster: {len(self.workers)} worker(s), {self.rounds} round(s)"
+            + (f", {self.retries} retried" if self.retries else "")
+            + f" | world {self.broadcast_bytes:,} B broadcast"
+            + f" + {self.update_bytes:,} B updates"
+            + f" | tasks {self.task_bytes:,} B out, {self.result_bytes:,} B back"
+        ]
+        for label, w in self.workers.items():
+            state = " [dead]" if w.failures else ""
+            lines.append(
+                f"  {label}{state}: {w.tasks} task(s), {w.merges} merge(s), "
+                f"world x{w.worlds} + {w.updates} update(s), "
+                f"busy {w.busy_seconds:.3f}s"
+            )
+        return "\n".join(lines)
+
+
+class _Connection:
+    """One persistent driver->worker socket with byte accounting."""
+
+    def __init__(self, host: str, port: int, timeout: float):
+        self.host = host
+        self.port = port
+        self.label = f"{host}:{port}"
+        self.timeout = timeout
+        self.alive = True
+        self.world_sent = False
+        self.stats = WorkerStats()
+        try:
+            self.sock = socket.create_connection((host, port), timeout=timeout)
+            self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            raise ClusterError(
+                f"cannot connect to cluster worker {self.label} ({exc})"
+            ) from exc
+
+    def request(self, kind, meta=None, arrays=None, bucket: str | None = None):
+        """One round-trip; marks the connection dead on any failure.
+
+        Returns ``(reply_kind, reply_meta, reply_arrays)``.  An
+        ``error`` reply (the worker rejected the message) raises
+        without killing the connection; a transport failure (reset,
+        hangup, timeout) marks the worker dead first.
+        """
+        try:
+            sent = send_message(self.sock, kind, meta, arrays)
+            reply = recv_message(self.sock)
+        except ClusterError as exc:
+            self.alive = False
+            raise ClusterError(f"worker {self.label} died: {exc}") from exc
+        if bucket is not None:
+            setattr(self.stats, bucket, getattr(self.stats, bucket) + sent)
+        rkind, rmeta, rarrays = reply
+        if rkind == "error":
+            raise ClusterError(f"worker {self.label}: {rmeta.get('error')}")
+        return rkind, rmeta, rarrays
+
+    def close(self):
+        """Close the socket (idempotent, best-effort)."""
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close never matters
+            pass
+
+
+def parse_worker_spec(spec) -> list[tuple[str, int]]:
+    """Parse a worker list: ``"host:port,host:port"`` or a sequence.
+
+    Sequence elements may be ``"host:port"`` strings or ``(host, port)``
+    pairs.  Raises :class:`ClusterError` on anything malformed.
+    """
+    if isinstance(spec, str):
+        spec = [part for part in spec.split(",") if part.strip()]
+    addresses = []
+    for entry in spec:
+        if isinstance(entry, str):
+            host, sep, port = entry.strip().rpartition(":")
+            if not sep or not host:
+                raise ClusterError(
+                    f"bad worker address {entry!r}; expected host:port"
+                )
+        else:
+            host, port = entry
+        try:
+            addresses.append((host, int(port)))
+        except (TypeError, ValueError) as exc:
+            raise ClusterError(f"bad worker address {entry!r} ({exc})") from exc
+    if not addresses:
+        raise ClusterError("empty cluster worker list")
+    return addresses
+
+
+class ClusterExecutor:
+    """Remote executor over a fixed set of cluster workers.
+
+    Args:
+        workers: worker addresses (see :func:`parse_worker_spec`).
+        timeout: per-request socket timeout in seconds (covers the
+            longest single partition scan).
+        retries: how many times a failed round is re-run on the
+            surviving workers before giving up (default 1).
+
+    Usage mirrors the in-process pools: the parallel engine calls
+    :meth:`broadcast` once per round and :meth:`map_reduce` per scan;
+    :meth:`close` tears the session down.  Also a context manager.
+    """
+
+    def __init__(self, workers, timeout: float = 120.0, retries: int = 1):
+        addresses = parse_worker_spec(workers)
+        self.session = f"sess-{os.urandom(6).hex()}"
+        self.timeout = timeout
+        self.retries = retries
+        self.stats = ClusterStats()
+        self._round = 0
+        self._world_cache: dict[str, np.ndarray] | None = None
+        self._n_sources: int | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self._connections: list[_Connection] = []
+        for host, port in addresses:
+            conn = _Connection(host, port, timeout)
+            self._connections.append(conn)
+            self.stats.workers[conn.label] = conn.stats
+        # Fail fast on a protocol mismatch before any world is packed.
+        for conn in self._connections:
+            conn.request("ping")
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (connections are gone)."""
+        return self._closed
+
+    @property
+    def n_workers(self) -> int:
+        """Workers still alive."""
+        return len(self._alive())
+
+    @property
+    def addresses(self) -> list[str]:
+        """All configured worker addresses (dead ones included)."""
+        return [conn.label for conn in self._connections]
+
+    def _alive(self) -> list[_Connection]:
+        alive = [conn for conn in self._connections if conn.alive]
+        if not alive:
+            raise ClusterError(
+                "no cluster workers left alive "
+                f"(all {len(self._connections)} died this session)"
+            )
+        return alive
+
+    # -- world broadcast ------------------------------------------------
+    @staticmethod
+    def _pack_world(cols, accuracies) -> dict[str, np.ndarray]:
+        """The five broadcast arrays (mirrors ``SharedWorld._pack``)."""
+        return {
+            "probs": np.ascontiguousarray(cols.probs, dtype=np.float64),
+            "main": np.ascontiguousarray(cols.main, dtype=np.uint8),
+            "offsets": np.ascontiguousarray(cols.offsets, dtype=np.int64),
+            "providers": np.ascontiguousarray(cols.providers, dtype=np.int64),
+            "accuracies": np.ascontiguousarray(accuracies, dtype=np.float64),
+        }
+
+    def broadcast(self, cols, accuracies, n_sources: int) -> None:
+        """Ship the columnar world to every live worker.
+
+        First call per session sends the full ``world`` frame; later
+        calls send ``world-update`` frames carrying only the fields
+        whose bytes actually changed (none at all when the world is
+        unchanged), falling back to a full broadcast when a worker
+        answers ``stale`` or any array's length/dtype changed.
+        """
+        arrays = self._pack_world(cols, accuracies)
+        cache = self._world_cache
+        same_layout = cache is not None and all(
+            cache[k].dtype == arrays[k].dtype and len(cache[k]) == len(arrays[k])
+            for k in WORLD_FIELDS
+        )
+        changed = (
+            {
+                k: arrays[k]
+                for k in WORLD_FIELDS
+                if not np.array_equal(cache[k], arrays[k])
+            }
+            if same_layout
+            else None
+        )
+        for conn in self._alive():
+            try:
+                self._broadcast_one(conn, arrays, changed, n_sources)
+            except ClusterError:
+                if conn.alive:
+                    raise  # protocol rejection, not a death: a real bug
+                conn.stats.failures += 1
+        self._alive()  # every worker died mid-broadcast: give up clearly
+        self._world_cache = arrays
+        self._n_sources = n_sources
+
+    def _broadcast_one(self, conn, arrays, changed, n_sources) -> None:
+        if conn.world_sent and changed is not None:
+            if not changed:
+                return  # bit-identical world: nothing to ship
+            kind, _, _ = conn.request(
+                "world-update",
+                {"session": self.session},
+                changed,
+                bucket="update_bytes",
+            )
+            if kind == "ok":
+                conn.stats.updates += 1
+                return
+            # "stale": the worker lost the session; fall through to a
+            # full broadcast.
+        conn.request(
+            "world",
+            {"session": self.session, "n_sources": n_sources},
+            arrays,
+            bucket="world_bytes",
+        )
+        conn.stats.worlds += 1
+        conn.world_sent = True
+
+    # -- map + reduce ---------------------------------------------------
+    def map_reduce(
+        self,
+        position_arrays: Sequence[np.ndarray],
+        weights: Sequence[int],
+        params,
+        reduce_mode: str = "flat",
+    ) -> PairTable | None:
+        """Scan every partition remotely and reduce to one table.
+
+        Args:
+            position_arrays: one int64 entry-position array per
+                partition (already filtered of empties by the engine).
+            weights: per-partition work estimates for LPT scheduling.
+            params: the round's :class:`~repro.core.params.CopyParams`.
+            reduce_mode: ``"flat"`` or ``"tree"`` — same associativity
+                as the engine's in-process ``_merge_tables``.
+
+        Returns:
+            The merged table, or None when every partition scanned
+            empty.
+
+        Raises:
+            ClusterError: after a failed retry or with no live workers.
+        """
+        if not position_arrays:
+            return None
+        last_error: ClusterError | None = None
+        for attempt in range(self.retries + 1):
+            alive = self._alive()  # raises when none remain
+            try:
+                with self._lock:
+                    self._round += 1
+                    round_id = self._round
+                self.stats.rounds += 1
+                if attempt:
+                    self.stats.retries += 1
+                return self._run_round(
+                    alive, round_id, position_arrays, weights, params, reduce_mode
+                )
+            except ClusterError as exc:
+                for conn in alive:
+                    if not conn.alive:
+                        conn.stats.failures += 1
+                last_error = exc
+        raise ClusterError(
+            f"cluster round failed and its retry failed too: {last_error}"
+        ) from last_error
+
+    def _run_round(
+        self, alive, round_id, position_arrays, weights, params, reduce_mode
+    ) -> PairTable | None:
+        from dataclasses import asdict
+
+        tasks = [f"r{round_id}.t{i}" for i in range(len(position_arrays))]
+        params_meta = asdict(params)
+        buckets = assign_buckets_lpt(weights, len(alive))
+        owner: dict[int, _Connection] = {}
+        for conn, bucket in zip(alive, buckets):
+            for ti in bucket:
+                owner[ti] = conn
+
+        n_pairs: dict[int, int] = {}
+
+        def run_tasks(conn, task_indices):
+            for ti in task_indices:
+                _, meta, _ = conn.request(
+                    "task",
+                    {
+                        "session": self.session,
+                        "task": tasks[ti],
+                        "params": params_meta,
+                    },
+                    {"positions": position_arrays[ti]},
+                    bucket="task_bytes",
+                )
+                n_pairs[ti] = int(meta["n_pairs"])
+                conn.stats.tasks += 1
+                conn.stats.busy_seconds += float(meta["busy_seconds"])
+
+        self._per_worker(zip(alive, buckets), run_tasks)
+
+        # Reduce over non-empty partials in partition order — the same
+        # filter-then-merge the in-process _merge_tables applies.
+        live_tasks = [ti for ti in range(len(tasks)) if n_pairs.get(ti)]
+        if not live_tasks:
+            return None
+        if reduce_mode == "tree":
+            root = self._tree_reduce_remote(live_tasks, tasks, owner, params)
+            return self._fetch(owner[root], tasks[root])
+        tables = self._fetch_all(live_tasks, tasks, owner)
+        return PairTable.merge(tables, layout=params.pair_layout)
+
+    def _tree_reduce_remote(self, items, tasks, owner, params) -> int:
+        """Run pairwise merge levels on the workers; returns the root.
+
+        Pairing is ``(0,1), (2,3), ...`` per level over the surviving
+        items — exactly ``_tree_reduce``'s topology — and each pair's
+        merge runs on the left item's owner, which pulls the right
+        partial peer-to-peer when it lives on another worker.
+        """
+        while len(items) > 1:
+            ops = []  # (dest_conn, dest_task, src_task, src_conn)
+            next_items = []
+            for i in range(0, len(items), 2):
+                if i + 1 >= len(items):
+                    next_items.append(items[i])
+                    continue
+                dest, src = items[i], items[i + 1]
+                ops.append((owner[dest], tasks[dest], tasks[src], owner[src]))
+                next_items.append(dest)
+            by_conn: dict[str, tuple[_Connection, list]] = {}
+            for dest_conn, dest_task, src_task, src_conn in ops:
+                by_conn.setdefault(dest_conn.label, (dest_conn, []))[1].append(
+                    (dest_task, src_task, src_conn)
+                )
+
+            def run_merges(conn, merge_ops):
+                for dest_task, src_task, src_conn in merge_ops:
+                    peer = (
+                        None
+                        if src_conn is conn
+                        else [src_conn.host, src_conn.port]
+                    )
+                    _, meta, _ = conn.request(
+                        "merge",
+                        {
+                            "session": self.session,
+                            "task": dest_task,
+                            "peer": peer,
+                            "peer_task": src_task,
+                            "layout": params.pair_layout,
+                        },
+                        bucket="task_bytes",
+                    )
+                    conn.stats.merges += 1
+                    conn.stats.busy_seconds += float(meta["busy_seconds"])
+
+            self._per_worker(by_conn.values(), run_merges)
+            items = next_items
+        return items[0]
+
+    def _fetch(self, conn: _Connection, task: str) -> PairTable:
+        _, meta, arrays = conn.request(
+            "fetch", {"session": self.session, "task": task}
+        )
+        # Payload bytes of the partial (frame headers not counted).
+        conn.stats.result_bytes += sum(arr.nbytes for arr in arrays.values())
+        return table_from_arrays(meta, arrays)
+
+    def _fetch_all(self, live_tasks, tasks, owner) -> list[PairTable]:
+        results: dict[int, PairTable] = {}
+        by_conn: dict[str, tuple[_Connection, list[int]]] = {}
+        for ti in live_tasks:
+            by_conn.setdefault(owner[ti].label, (owner[ti], []))[1].append(ti)
+
+        def run_fetches(conn, task_indices):
+            for ti in task_indices:
+                results[ti] = self._fetch(conn, tasks[ti])
+
+        self._per_worker(by_conn.values(), run_fetches)
+        return [results[ti] for ti in live_tasks]
+
+    def _per_worker(self, conn_ops, fn) -> None:
+        """Run ``fn(conn, ops)`` concurrently, one thread per worker.
+
+        Each worker's ops run sequentially on its single socket; the
+        first worker failure is re-raised after all threads finish (so
+        every death is recorded before the retry decision).
+        """
+        pairs = [(conn, ops) for conn, ops in conn_ops if ops]
+        errors: list[ClusterError] = []
+
+        def run(conn, ops):
+            try:
+                fn(conn, ops)
+            except ClusterError as exc:
+                errors.append(exc)
+
+        if len(pairs) == 1:
+            conn, ops = pairs[0]
+            run(conn, ops)
+        else:
+            threads = [
+                threading.Thread(target=run, args=pair, daemon=True)
+                for pair in pairs
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        if errors:
+            raise errors[0]
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """End the session on every worker and drop all connections."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._connections:
+            if conn.alive:
+                try:
+                    conn.request("end-session", {"session": self.session})
+                except ClusterError:
+                    pass
+            conn.close()
+
+    def __enter__(self) -> "ClusterExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def resolve_cluster(spec, workspace=None) -> tuple[ClusterExecutor, bool]:
+    """Resolve a ``cluster=`` argument into ``(executor, owned)``.
+
+    ``spec`` may be a live :class:`ClusterExecutor` (returned as-is,
+    never closed by the engine), a worker list (string or sequence,
+    see :func:`parse_worker_spec`), or None — in which case the
+    ``REPRO_CLUSTER_WORKERS`` environment variable supplies the list.
+    With a workspace, address-list specs resolve to the workspace's
+    persistent executor (``owned`` False — the workspace closes it);
+    otherwise a transient executor is created (``owned`` True — the
+    caller closes it after the call).
+
+    Raises:
+        ClusterError: when no worker list can be found anywhere.
+    """
+    if isinstance(spec, ClusterExecutor):
+        return spec, False
+    if spec is None:
+        spec = os.environ.get("REPRO_CLUSTER_WORKERS", "").strip()
+        if not spec:
+            raise ClusterError(
+                "executor='remote' needs workers: pass cluster=/--workers "
+                "host:port[,host:port...] or set REPRO_CLUSTER_WORKERS"
+            )
+    addresses = parse_worker_spec(spec)
+    if workspace is not None:
+        return workspace.cluster(addresses), False
+    return ClusterExecutor(addresses), True

@@ -197,11 +197,33 @@ def _params(backend: str, pair_layout: str = "auto") -> CopyParams:
     return CopyParams(backend=backend, pair_layout=pair_layout)
 
 
+#: The lazily-spawned localhost cluster shared by every ``remote`` case.
+#: Spawning two interpreters per case would dominate grid time, so the
+#: first remote case pays the startup cost and the rest reuse the live
+#: workers (LocalCluster registers its own atexit cleanup).
+_SHARED_CLUSTER: tuple | None = None
+
+
+def _shared_cluster():
+    global _SHARED_CLUSTER
+    if _SHARED_CLUSTER is None:
+        from ..cluster import LocalCluster
+
+        cluster = LocalCluster(2)
+        _SHARED_CLUSTER = (cluster, cluster.executor())
+    return _SHARED_CLUSTER[1]
+
+
+def _case_cluster(config: "CaseConfig"):
+    return _shared_cluster() if config.executor == "remote" else None
+
+
 def _run_detect(dataset, probabilities, accuracies, config: CaseConfig):
     params = _params(config.backend, config.pair_layout)
     if config.n_partitions > 1:
         from ..parallel import detect_hybrid_parallel, detect_index_parallel
 
+        cluster = _case_cluster(config)
         if config.method == "index":
             return detect_index_parallel(
                 dataset,
@@ -212,6 +234,7 @@ def _run_detect(dataset, probabilities, accuracies, config: CaseConfig):
                 strategy="work" if config.partition_by == "work" else "stride",
                 executor=config.executor,
                 reduce=config.reduce,
+                cluster=cluster,
             )
         return detect_hybrid_parallel(
             dataset,
@@ -223,6 +246,7 @@ def _run_detect(dataset, probabilities, accuracies, config: CaseConfig):
             epoch_size=config.epoch_size,
             reduce=config.reduce,
             partition_by=config.partition_by,
+            cluster=cluster,
         )
     kwargs = {}
     if config.hybrid_threshold is not None:
@@ -271,6 +295,7 @@ def _make_detector(config: CaseConfig):
         executor=config.executor,
         reduce=config.reduce,
         partition_by=config.partition_by,
+        cluster=_case_cluster(config),
     )
 
 
@@ -642,8 +667,9 @@ def shrink_world(
 # Grids
 # ----------------------------------------------------------------------
 def smoke_grid() -> list[CaseConfig]:
-    """The PR-time grid: all seven methods, both backends, all three
-    executors, both reduce topologies, and multi-round incremental
+    """The PR-time grid: all seven methods, both backends, all four
+    executors (the remote one against a live 2-worker localhost
+    cluster), both reduce topologies, and multi-round incremental
     fusion — kept small enough to finish within a CI smoke budget."""
     configs: list[CaseConfig] = [
         # Single-round detection, vectorized backends (serial).
@@ -664,6 +690,12 @@ def smoke_grid() -> list[CaseConfig]:
         CaseConfig("detect", "hybrid", n_partitions=2, executor="threads"),
         CaseConfig("detect", "hybrid", n_partitions=2, executor="processes",
                    reduce="tree", partition_by="work"),
+        # The remote executor: a shared 2-worker localhost cluster
+        # (separate interpreters, real sockets) must conform exactly
+        # like the in-process executors.
+        CaseConfig("detect", "index", n_partitions=2, executor="remote",
+                   reduce="tree", partition_by="work"),
+        CaseConfig("detect", "hybrid", n_partitions=2, executor="remote"),
         # The sparse pair layout forced on small worlds: the compact
         # observed-pair state must match the reference bit-for-bit
         # (bound family) / at tolerance (kernel + fusion paths).
@@ -724,6 +756,10 @@ def full_grid() -> list[CaseConfig]:
                    rounds=6),
         CaseConfig("fusion", "hybrid", n_partitions=2, executor="processes",
                    reduce="tree", partition_by="work", rounds=3),
+        CaseConfig("detect", "index", n_partitions=3, executor="remote",
+                   reduce="flat"),
+        CaseConfig("fusion", "index", n_partitions=2, executor="remote",
+                   reduce="tree", rounds=3),
     ]
     return configs
 

@@ -39,7 +39,14 @@ from .index import EntryOrdering, IndexEntry, InvertedIndex
 from .index_algo import detect_index
 from .maxscore import max_score, max_score_bruteforce
 from .pairwise import detect_pairwise
-from .params import BACKENDS, PAIR_LAYOUTS, PARTITION_AXES, REDUCE_MODES, CopyParams
+from .params import (
+    BACKENDS,
+    EXECUTORS,
+    PAIR_LAYOUTS,
+    PARTITION_AXES,
+    REDUCE_MODES,
+    CopyParams,
+)
 from .popularity import (
     detect_pairwise_popular,
     estimate_relative_popularity,
@@ -77,6 +84,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "BACKENDS",
+    "EXECUTORS",
     "BoundEval",
     "ColumnarEntries",
     "CopyParams",

@@ -35,7 +35,7 @@ from .incremental import (
 from .index import EntryOrdering
 from .index_algo import detect_index
 from .pairwise import detect_pairwise
-from .params import PARTITION_AXES, REDUCE_MODES, CopyParams
+from .params import EXECUTORS, PARTITION_AXES, REDUCE_MODES, CopyParams
 from .result import DetectionResult
 
 #: Names accepted by :func:`detect` and the CLI.
@@ -235,6 +235,7 @@ class SingleRoundDetector(_WorkspaceMixin):
         reduce: str = "flat",
         partition_by: str = "entries",
         pair_layout: str | None = None,
+        cluster=None,
     ):
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
@@ -249,9 +250,9 @@ class SingleRoundDetector(_WorkspaceMixin):
                 f"n_partitions > 1 supports methods {PARALLEL_METHODS}, "
                 f"not {method!r}"
             )
-        if executor not in ("serial", "threads", "processes"):
+        if executor not in EXECUTORS:
             raise ValueError(
-                f"unknown executor {executor!r}; expected serial/threads/processes"
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
             )
         if reduce not in REDUCE_MODES:
             raise ValueError(
@@ -272,6 +273,9 @@ class SingleRoundDetector(_WorkspaceMixin):
         self.executor = executor
         self.reduce = reduce
         self.partition_by = partition_by
+        #: for ``executor="remote"``: a live ClusterExecutor, a worker
+        #: list, or None (the REPRO_CLUSTER_WORKERS environment variable).
+        self.cluster = cluster
         self._shared_items_cache: tuple[Dataset, dict] | None = None
 
     @property
@@ -359,6 +363,7 @@ class SingleRoundDetector(_WorkspaceMixin):
                 index=index,
                 reduce=self.reduce,
                 workspace=workspace,
+                cluster=self.cluster,
             )
         else:  # hybrid
             result = detect_hybrid_parallel(
@@ -374,6 +379,7 @@ class SingleRoundDetector(_WorkspaceMixin):
                 reduce=self.reduce,
                 partition_by=self.partition_by,
                 workspace=workspace,
+                cluster=self.cluster,
             )
         result.elapsed_seconds = time.perf_counter() - start
         return result

@@ -27,6 +27,15 @@ from dataclasses import dataclass
 #: than in :mod:`repro.core.kernel` so validation never imports NumPy.
 BACKENDS = ("python", "numpy")
 
+#: Executors accepted by the parallel engine's ``executor=`` parameter
+#: (and the CLI's ``--executor``): ``"serial"`` runs partitions in
+#: order in-process, ``"threads"``/``"processes"`` use local pools
+#: (shared-memory world broadcast under processes), and ``"remote"``
+#: ships partitions to cluster workers over TCP
+#: (:mod:`repro.cluster`; requires ``backend="numpy"`` and a worker
+#: list).  Lives here so validation never imports NumPy or sockets.
+EXECUTORS = ("serial", "threads", "processes", "remote")
+
 #: Reduction topologies accepted by the parallel engine's ``reduce=``
 #: parameter (and the CLI's ``--reduce``): ``"flat"`` merges all partial
 #: results in one pass, ``"tree"`` merges them pairwise so the reduce is

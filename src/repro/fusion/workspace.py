@@ -51,6 +51,7 @@ from ..parallel.engine import _pool_workers
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.index import InvertedIndex
     from ..core.kernel import ColumnarEntries
+    from ..cluster.executor import ClusterExecutor
     from ..parallel.shm import SharedWorld
     from .accu_kernel import FusionColumns
 
@@ -75,6 +76,7 @@ class FusionWorkspace:
         self._value_row = None
         self._pools: dict[str, Executor] = {}
         self._world: "SharedWorld" | None = None
+        self._clusters: dict[tuple, "ClusterExecutor"] = {}
 
     # ------------------------------------------------------------------
     # Static structure caches
@@ -191,6 +193,32 @@ class FusionWorkspace:
             self._pools[executor] = pool
         return pool
 
+    def cluster(self, addresses) -> "ClusterExecutor":
+        """The persistent remote-cluster executor for a worker list.
+
+        The remote analogue of :meth:`pool`: the first round dials the
+        workers, later rounds reuse the open connections — and, because
+        :class:`~repro.cluster.executor.ClusterExecutor` caches the last
+        world it shipped per session, reuse is what turns the per-round
+        broadcast into the cheap ``world-update`` diff.  Keyed by the
+        address tuple so one workspace can serve runs against different
+        clusters; every executor is closed by :meth:`close`.
+
+        Raises:
+            RuntimeError: when the workspace is closed.
+            ClusterError: when a worker cannot be reached.
+        """
+        if self.closed:
+            raise RuntimeError("the fusion workspace is closed")
+        from ..cluster.executor import ClusterExecutor
+
+        key = tuple((host, port) for host, port in addresses)
+        executor = self._clusters.get(key)
+        if executor is None:
+            executor = ClusterExecutor(key)
+            self._clusters[key] = executor
+        return executor
+
     def broadcast(
         self,
         cols: "ColumnarEntries",
@@ -257,6 +285,9 @@ class FusionWorkspace:
         for pool in self._pools.values():
             pool.shutdown(wait=True)
         self._pools.clear()
+        for executor in self._clusters.values():
+            executor.close()
+        self._clusters.clear()
         if self._world is not None:
             self._world.close()
             self._world = None

@@ -71,7 +71,13 @@ from typing import Literal, Sequence
 from ..core.bound import DEFAULT_HYBRID_THRESHOLD, PrefixScanState, scan_with_bounds
 from ..core.contribution import posterior
 from ..core.index import InvertedIndex
-from ..core.params import BACKENDS, PARTITION_AXES, REDUCE_MODES, CopyParams
+from ..core.params import (
+    BACKENDS,
+    EXECUTORS,
+    PARTITION_AXES,
+    REDUCE_MODES,
+    CopyParams,
+)
 from ..core.result import CostCounter, DetectionResult, PairDecision
 from ..data import Dataset
 from .partition import (
@@ -79,9 +85,10 @@ from .partition import (
     PartitionStrategy,
     partition_entries,
     partition_positions_by_work,
+    partition_weights,
 )
 
-Executor = Literal["serial", "threads", "processes"]
+Executor = Literal["serial", "threads", "processes", "remote"]
 ReduceMode = Literal["flat", "tree"]
 
 #: partial accumulator per pair: [c_fwd, c_bwd, n_shared, saw_main]
@@ -350,19 +357,98 @@ def _map_columnar(
 
 def _validate(executor: str, backend: str | None, reduce: str, params: CopyParams):
     """Shared argument validation; returns the effective backend."""
-    if executor not in ("serial", "threads", "processes"):
+    if executor not in EXECUTORS:
         raise ValueError(
-            f"unknown executor {executor!r}; expected serial/threads/processes"
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
         )
     if backend is None:
         backend = params.backend
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if executor == "remote" and backend != "numpy":
+        raise ValueError(
+            "executor='remote' requires backend='numpy' (cluster workers "
+            "scan columnar payloads; the python reference loops stay local)"
+        )
     if reduce not in REDUCE_MODES:
         raise ValueError(
             f"unknown reduce mode {reduce!r}; expected one of {REDUCE_MODES}"
         )
     return backend
+
+
+def _map_reduce_remote(
+    index: InvertedIndex,
+    parts: list[EntryPartition],
+    accuracies: Sequence[float],
+    params: CopyParams,
+    n_sources: int,
+    reduce_mode: ReduceMode,
+    workspace=None,
+    cluster=None,
+):
+    """Scan + reduce on cluster workers; returns the merged table.
+
+    The world is broadcast to every worker once per executor session
+    (in-place updates thereafter — see
+    :meth:`repro.cluster.ClusterExecutor.broadcast`), each partition
+    ships only its entry positions, and the reduce runs the engine's
+    exact flat/tree associativity on the workers, so results are
+    bit-identical to the in-process executors.  ``cluster`` may be a
+    live :class:`~repro.cluster.ClusterExecutor`, a worker list, or
+    None (the ``REPRO_CLUSTER_WORKERS`` environment variable); with a
+    workspace, list specs resolve to its session-persistent executor.
+    """
+    import numpy as np
+
+    from ..cluster import resolve_cluster
+
+    executor, owned = resolve_cluster(cluster, workspace)
+    try:
+        executor.broadcast(index.columnar_entries(), list(accuracies), n_sources)
+        return executor.map_reduce(
+            [np.asarray(part.positions, dtype=np.int64) for part in parts],
+            [partition_weights(index, part) for part in parts],
+            params,
+            reduce_mode=reduce_mode,
+        )
+    finally:
+        if owned:
+            executor.close()
+
+
+def _map_reduce_columnar(
+    index: InvertedIndex,
+    partitions: Sequence[EntryPartition],
+    accuracies: Sequence[float],
+    params: CopyParams,
+    n_sources: int,
+    executor: Executor,
+    reduce_mode: ReduceMode,
+    workspace=None,
+    cluster=None,
+):
+    """Columnar map step + reduce under any executor; None when empty.
+
+    The single dispatch point the numpy INDEX and HYBRID paths share:
+    local executors run :func:`_map_columnar` then :func:`_merge_tables`
+    in-process; ``"remote"`` ships both steps to cluster workers
+    (:func:`_map_reduce_remote`) — same scan, same merge associativity,
+    identical results.
+    """
+    parts = [part for part in partitions if part.positions]
+    if not parts:
+        return None
+    if executor == "remote":
+        return _map_reduce_remote(
+            index, parts, accuracies, params, n_sources, reduce_mode,
+            workspace=workspace, cluster=cluster,
+        )
+    tables = _map_columnar(
+        index, parts, accuracies, params, n_sources, executor,
+        workspace=workspace,
+    )
+    return _merge_tables(tables, reduce_mode, layout=params.pair_layout)
 
 
 def detect_index_parallel(
@@ -377,6 +463,7 @@ def detect_index_parallel(
     backend: str | None = None,
     reduce: ReduceMode = "flat",
     workspace=None,
+    cluster=None,
 ) -> DetectionResult:
     """INDEX over a partitioned scan; verdicts identical to sequential.
 
@@ -388,17 +475,23 @@ def detect_index_parallel(
         n_partitions: number of entry shares (>= 1).
         strategy: ``"stride"`` (entry-count balanced), ``"blocks"``
             (contiguous) or ``"work"`` (incidence-cost balanced).
-        executor: ``"serial"``, ``"threads"`` or ``"processes"``.
+        executor: ``"serial"``, ``"threads"``, ``"processes"`` or
+            ``"remote"`` (cluster workers over TCP; numpy backend only).
         index: prebuilt index to reuse.
         backend: ``"python"`` (per-entry tuple payloads, dict merge) or
             ``"numpy"`` (columnar payloads — broadcast once via shared
             memory under ``"processes"`` — and flat-array merge);
             defaults to ``params.backend``.
         reduce: ``"flat"`` (single-pass merge) or ``"tree"`` (pairwise,
-            O(log P) depth).
+            O(log P) depth; under ``"remote"`` the pairwise merges run
+            *on the workers* so the driver only receives the root).
         workspace: a :class:`~repro.fusion.FusionWorkspace` supplying
             persistent pools and the persistent shared-memory broadcast
             when the engine runs once per fusion round.
+        cluster: for ``executor="remote"``: a live
+            :class:`~repro.cluster.ClusterExecutor`, a worker list
+            (``"host:port,host:port"`` or a sequence), or None to read
+            ``REPRO_CLUSTER_WORKERS``.
 
     Raises:
         ValueError: for an unknown executor, backend, strategy or reduce
@@ -411,7 +504,7 @@ def detect_index_parallel(
     if backend == "numpy":
         return _detect_parallel_numpy(
             index, accuracies, params, partitions, executor, dataset.n_sources,
-            reduce, workspace,
+            reduce, workspace, cluster,
         )
     payloads = [_payload(index, part) for part in partitions]
     pool = (
@@ -434,15 +527,15 @@ def _detect_parallel_numpy(
     n_sources: int,
     reduce_mode: ReduceMode,
     workspace=None,
+    cluster=None,
 ) -> DetectionResult:
     """Map/reduce over columnar payloads via the vectorized kernel."""
     from ..core.kernel import decide_pairs
 
-    tables = _map_columnar(
+    merged = _map_reduce_columnar(
         index, partitions, accuracies, params, n_sources, executor,
-        workspace=workspace,
+        reduce_mode, workspace=workspace, cluster=cluster,
     )
-    merged = _merge_tables(tables, reduce_mode, layout=params.pair_layout)
     cost = CostCounter()
     if merged is None:
         return DetectionResult(
@@ -515,6 +608,7 @@ def detect_hybrid_parallel(
     reduce: ReduceMode = "flat",
     partition_by: str = "entries",
     workspace=None,
+    cluster=None,
 ) -> DetectionResult:
     """HYBRID over the strong-evidence prefix, INDEX map/reduce after it.
 
@@ -593,11 +687,10 @@ def detect_hybrid_parallel(
     merged: _Partial = {}
     if suffix_parts:
         if backend == "numpy":
-            tables = _map_columnar(
+            table = _map_reduce_columnar(
                 index, suffix_parts, accuracies, params, dataset.n_sources,
-                executor, workspace=workspace,
+                executor, reduce, workspace=workspace, cluster=cluster,
             )
-            table = _merge_tables(tables, reduce, layout=params.pair_layout)
             if table is not None:
                 for pair, c_fwd, c_bwd, n_shared, saw_main in zip(
                     table.pairs(),

@@ -139,3 +139,31 @@ def partition_positions_by_work(
 def partition_weights(index: InvertedIndex, partition: EntryPartition) -> int:
     """Load estimate for a partition: total pair incidences it contains."""
     return sum(entry_work(index, position) for position in partition.positions)
+
+
+def assign_buckets_lpt(weights: Iterable[int], n_buckets: int) -> list[list[int]]:
+    """Assign weighted tasks to buckets, LPT greedy (the cluster scheduler).
+
+    The same longest-processing-time heuristic
+    :func:`partition_positions_by_work` applies to entries, lifted one
+    level: here the *tasks* are whole partitions (their weight is
+    :func:`partition_weights`) and the buckets are cluster workers, so
+    partition count stays independent of worker count — 7 balanced
+    partitions schedule onto 1, 2 or 4 workers with identical results.
+    Ties break deterministically (heavier first, then lower task index,
+    then lower bucket id) and each bucket's tasks come back in task
+    order.
+
+    Raises:
+        ValueError: for a non-positive bucket count.
+    """
+    if n_buckets < 1:
+        raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+    ordered = sorted(enumerate(weights), key=lambda iw: (-iw[1], iw[0]))
+    heap = [(0, bucket_id) for bucket_id in range(n_buckets)]
+    buckets: list[list[int]] = [[] for _ in range(n_buckets)]
+    for task, weight in ordered:
+        load, bucket_id = heapq.heappop(heap)
+        buckets[bucket_id].append(task)
+        heapq.heappush(heap, (load + weight, bucket_id))
+    return [sorted(bucket) for bucket in buckets]

@@ -1,0 +1,481 @@
+"""Remote-worker execution: wire codec, scheduler, parity, faults, stats.
+
+The parity and fault tests spawn real worker interpreters
+(:class:`repro.cluster.LocalCluster`) and talk to them over localhost
+TCP — exactly the simulated-cluster setup of ``benchmarks/bench_cluster``
+— so they carry the ``cluster`` marker for selective runs
+(``pytest -m "not cluster"`` skips every subprocess-spawning test).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.cluster import (
+    ClusterError,
+    ClusterExecutor,
+    LocalCluster,
+    parse_worker_spec,
+    resolve_cluster,
+)
+from repro.cluster.wire import (
+    MAGIC,
+    WIRE_VERSION,
+    encode_message,
+    recv_message,
+    send_message,
+)
+from repro.core import CopyParams, InvertedIndex
+from repro.parallel import detect_hybrid_parallel, detect_index_parallel
+from repro.parallel.partition import (
+    assign_buckets_lpt,
+    partition_entries,
+    partition_weights,
+)
+
+
+# ----------------------------------------------------------------------
+# Wire codec (no subprocesses: socketpair + raw frames)
+# ----------------------------------------------------------------------
+class TestWire:
+    def _roundtrip(self, kind, meta, arrays):
+        left, right = socket.socketpair()
+        try:
+            send_message(left, kind, meta, arrays)
+            return recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_roundtrip_arrays_and_meta(self):
+        arrays = {
+            "probs": np.array([0.25, 0.5, 1.0 / 3.0]),
+            "main": np.array([1, 0, 1], dtype=np.uint8),
+            "offsets": np.array([0, 2, 5], dtype=np.int64),
+        }
+        kind, meta, got = self._roundtrip("world", {"session": "s1"}, arrays)
+        assert kind == "world"
+        assert meta["session"] == "s1"
+        assert set(got) == set(arrays)
+        for name, arr in arrays.items():
+            assert got[name].dtype == arr.dtype
+            assert np.array_equal(got[name], arr)
+        # Raw-buffer transport: floats come back bit-identical.
+        assert got["probs"].tobytes() == arrays["probs"].tobytes()
+
+    def test_roundtrip_no_arrays(self):
+        kind, meta, arrays = self._roundtrip("ping", {"n": 7}, None)
+        assert kind == "ping" and meta == {"n": 7} and arrays == {}
+
+    def test_clean_eof_returns_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_message(right, eof_ok=True) is None
+        finally:
+            right.close()
+
+    def test_truncated_frame_raises(self):
+        frame = encode_message("task", {"x": 1}, {"a": np.arange(4)})
+        left, right = socket.socketpair()
+        try:
+            left.sendall(frame[: len(frame) - 3])
+            left.close()
+            with pytest.raises(ClusterError, match="closed mid-frame"):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_bad_magic_raises(self):
+        frame = bytearray(encode_message("ping", {}))
+        frame[:4] = b"XXXX"
+        left, right = socket.socketpair()
+        try:
+            left.sendall(bytes(frame))
+            left.close()
+            with pytest.raises(ClusterError, match="magic"):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_newer_version_raises(self):
+        frame = bytearray(encode_message("ping", {}))
+        frame[4:8] = struct.pack("<I", WIRE_VERSION + 1)
+        left, right = socket.socketpair()
+        try:
+            left.sendall(bytes(frame))
+            left.close()
+            with pytest.raises(ClusterError, match="version"):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_corrupted_payload_fails_crc(self):
+        frame = bytearray(encode_message("task", {}, {"a": np.arange(8)}))
+        frame[-1] ^= 0xFF
+        left, right = socket.socketpair()
+        try:
+            left.sendall(bytes(frame))
+            left.close()
+            with pytest.raises(ClusterError, match="checksum"):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_magic_constant(self):
+        assert MAGIC == b"RCLW" and len(MAGIC) == 4
+
+
+# ----------------------------------------------------------------------
+# The scheduler and the worker-spec parser (pure functions)
+# ----------------------------------------------------------------------
+class TestScheduler:
+    def test_covers_every_task_once(self):
+        buckets = assign_buckets_lpt([5, 1, 4, 1, 1], 2)
+        assert sorted(t for b in buckets for t in b) == [0, 1, 2, 3, 4]
+
+    def test_balances_heaviest_first(self):
+        buckets = assign_buckets_lpt([10, 1, 1, 1], 2)
+        # LPT: the heavy task gets a bucket to itself.
+        assert [0] in buckets
+        assert sorted(t for b in buckets for t in b) == [0, 1, 2, 3]
+
+    def test_deterministic(self):
+        weights = [3, 7, 3, 1, 9, 2]
+        assert assign_buckets_lpt(weights, 3) == assign_buckets_lpt(weights, 3)
+
+    def test_single_bucket_gets_everything(self):
+        assert assign_buckets_lpt([2, 2, 2], 1) == [[0, 1, 2]]
+
+    def test_more_buckets_than_tasks(self):
+        buckets = assign_buckets_lpt([1, 1], 4)
+        assert sorted(t for b in buckets for t in b) == [0, 1]
+        assert len(buckets) == 4
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            assign_buckets_lpt([1], 0)
+
+
+class TestWorkerSpec:
+    def test_string_spec(self):
+        assert parse_worker_spec("a:1,b:2") == [("a", 1), ("b", 2)]
+
+    def test_sequence_spec(self):
+        assert parse_worker_spec(["a:1", ("b", 2)]) == [("a", 1), ("b", 2)]
+
+    def test_ipv6_style_uses_last_colon(self):
+        assert parse_worker_spec("::1:9000") == [("::1", 9000)]
+
+    @pytest.mark.parametrize("bad", ["", "hostonly", "h:notaport", []])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(ClusterError):
+            parse_worker_spec(bad)
+
+    def test_resolve_passthrough_not_owned(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CLUSTER_WORKERS", raising=False)
+        with pytest.raises(ClusterError, match="REPRO_CLUSTER_WORKERS"):
+            resolve_cluster(None)
+
+
+# ----------------------------------------------------------------------
+# Live-cluster tests (subprocess workers over localhost TCP)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cluster():
+    """One 2-worker cluster shared by every non-destructive test."""
+    with LocalCluster(2) as lc:
+        yield lc
+
+
+@pytest.fixture(scope="module")
+def executor(cluster):
+    return cluster.executor()
+
+
+def _index(example, example_probabilities, example_accuracies, params):
+    return InvertedIndex.build(
+        example, example_probabilities, example_accuracies, params
+    )
+
+
+def _assert_bit_identical(ref, got):
+    assert ref.decisions.keys() == got.decisions.keys()
+    for pair in ref.decisions:
+        assert got.decisions[pair] == ref.decisions[pair], pair
+    assert got.cost.values_examined == ref.cost.values_examined
+    assert got.cost.pairs_considered == ref.cost.pairs_considered
+
+
+@pytest.mark.cluster
+class TestRemoteParity:
+    @pytest.mark.parametrize("reduce_mode", ["flat", "tree"])
+    def test_index_matches_serial(
+        self,
+        executor,
+        example,
+        example_probabilities,
+        example_accuracies,
+        params,
+        reduce_mode,
+    ):
+        kwargs = dict(
+            n_partitions=3, strategy="work", reduce=reduce_mode
+        )
+        ref = detect_index_parallel(
+            example, example_probabilities, example_accuracies, params,
+            executor="serial", **kwargs,
+        )
+        got = detect_index_parallel(
+            example, example_probabilities, example_accuracies, params,
+            executor="remote", cluster=executor, **kwargs,
+        )
+        _assert_bit_identical(ref, got)
+
+    @pytest.mark.parametrize("reduce_mode", ["flat", "tree"])
+    def test_hybrid_matches_serial(
+        self,
+        executor,
+        example,
+        example_probabilities,
+        example_accuracies,
+        params,
+        reduce_mode,
+    ):
+        kwargs = dict(n_partitions=3, partition_by="work", reduce=reduce_mode)
+        ref = detect_hybrid_parallel(
+            example, example_probabilities, example_accuracies, params,
+            executor="serial", **kwargs,
+        )
+        got = detect_hybrid_parallel(
+            example, example_probabilities, example_accuracies, params,
+            executor="remote", cluster=executor, **kwargs,
+        )
+        _assert_bit_identical(ref, got)
+
+    def test_more_partitions_than_workers(
+        self, executor, example, example_probabilities, example_accuracies,
+        params,
+    ):
+        ref = detect_index_parallel(
+            example, example_probabilities, example_accuracies, params,
+            n_partitions=7, executor="serial", reduce="tree",
+        )
+        got = detect_index_parallel(
+            example, example_probabilities, example_accuracies, params,
+            n_partitions=7, executor="remote", reduce="tree", cluster=executor,
+        )
+        _assert_bit_identical(ref, got)
+
+    def test_single_worker_matches_sequential(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        ref = detect_index_parallel(
+            example, example_probabilities, example_accuracies, params,
+            n_partitions=3, executor="serial", reduce="tree",
+        )
+        with LocalCluster(1) as lc, lc.executor() as ex:
+            got = detect_index_parallel(
+                example, example_probabilities, example_accuracies, params,
+                n_partitions=3, executor="remote", reduce="tree", cluster=ex,
+            )
+        _assert_bit_identical(ref, got)
+
+    def test_remote_requires_numpy_backend(
+        self, example, example_probabilities, example_accuracies
+    ):
+        with pytest.raises(ValueError, match="backend"):
+            detect_index_parallel(
+                example,
+                example_probabilities,
+                example_accuracies,
+                CopyParams(backend="python"),
+                n_partitions=2,
+                executor="remote",
+            )
+
+
+@pytest.mark.cluster
+class TestStats:
+    def test_wire_and_timing_stats_populate(
+        self, executor, example, example_probabilities, example_accuracies,
+        params,
+    ):
+        detect_index_parallel(
+            example, example_probabilities, example_accuracies, params,
+            n_partitions=3, executor="remote", reduce="tree", cluster=executor,
+        )
+        stats = executor.stats
+        assert stats.rounds >= 1
+        assert stats.broadcast_bytes > 0
+        assert stats.task_bytes > 0
+        assert stats.result_bytes > 0
+        assert sum(w.tasks for w in stats.workers.values()) >= 3
+        assert sum(w.busy_seconds for w in stats.workers.values()) > 0
+        payload = stats.as_dict()
+        assert payload["rounds"] == stats.rounds
+        assert "cluster:" in stats.summary()
+
+    def test_broadcast_once_across_fusion_rounds(
+        self, cluster, example, params
+    ):
+        from repro.core import SingleRoundDetector
+        from repro.fusion import run_fusion
+        from repro.fusion.pipeline import FusionConfig
+        from repro.fusion.workspace import FusionWorkspace
+
+        spec = ",".join(cluster.addresses)
+        with FusionWorkspace(example, params) as ws:
+            detector = SingleRoundDetector(
+                params, method="index", n_partitions=3, executor="remote",
+                reduce="tree", cluster=spec,
+            )
+            run_fusion(
+                example, params, detector=detector,
+                config=FusionConfig(max_rounds=3, min_rounds=3), workspace=ws,
+            )
+            ex = ws.cluster(parse_worker_spec(spec))
+            assert ex.stats.rounds >= 3
+            for label, worker in ex.stats.workers.items():
+                # One full world frame per worker per session; later
+                # rounds ship only the diff.
+                assert worker.worlds == 1, label
+                assert worker.updates >= 1, label
+            assert ex.stats.update_bytes > 0
+
+    def test_workspace_reuses_and_closes_executor(self, cluster, example, params):
+        from repro.fusion.workspace import FusionWorkspace
+
+        addresses = parse_worker_spec(",".join(cluster.addresses))
+        ws = FusionWorkspace(example, params)
+        first = ws.cluster(addresses)
+        assert ws.cluster(addresses) is first
+        ws.close()
+        assert first.closed
+        with pytest.raises(RuntimeError):
+            ws.cluster(addresses)
+
+
+@pytest.mark.cluster
+class TestFaults:
+    def _broadcast(self, ex, example, example_probabilities,
+                   example_accuracies, params):
+        index = _index(
+            example, example_probabilities, example_accuracies, params
+        )
+        ex.broadcast(
+            index.columnar_entries(),
+            list(example_accuracies),
+            example.n_sources,
+        )
+        parts = [
+            p for p in partition_entries(index, 4, strategy="work")
+            if p.positions
+        ]
+        positions = [np.asarray(p.positions, dtype=np.int64) for p in parts]
+        weights = [partition_weights(index, p) for p in parts]
+        return positions, weights
+
+    def test_round_retries_on_surviving_worker(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        with LocalCluster(2) as lc, lc.executor() as ex:
+            positions, weights = self._broadcast(
+                ex, example, example_probabilities, example_accuracies, params
+            )
+            baseline = ex.map_reduce(positions, weights, params, "tree")
+            lc.kill_worker(0)
+            retried = ex.map_reduce(positions, weights, params, "tree")
+            assert ex.stats.retries >= 1
+            assert retried.keys.tobytes() == baseline.keys.tobytes()
+            assert retried.c_fwd.tobytes() == baseline.c_fwd.tobytes()
+            assert retried.c_bwd.tobytes() == baseline.c_bwd.tobytes()
+
+    def test_all_workers_dead_is_one_clear_error(
+        self, example, example_probabilities, example_accuracies, params
+    ):
+        with LocalCluster(2) as lc, lc.executor() as ex:
+            positions, weights = self._broadcast(
+                ex, example, example_probabilities, example_accuracies, params
+            )
+            lc.kill_worker(0)
+            lc.kill_worker(1)
+            with pytest.raises(ClusterError) as excinfo:
+                ex.map_reduce(positions, weights, params, "tree")
+            # Transport failures surface as ClusterError, never as a raw
+            # socket exception.
+            assert not isinstance(excinfo.value, ConnectionError)
+
+    def test_connect_to_nothing_raises_cluster_error(self):
+        # Grab a port that is certainly not listening.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ClusterError, match="cannot connect"):
+            ClusterExecutor([("127.0.0.1", port)], timeout=2.0)
+
+
+@pytest.mark.cluster
+class TestCli:
+    @pytest.fixture(scope="class")
+    def claims_csv(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("cluster_cli")
+        assert main(
+            ["generate", "book_cs", "--scale", "0.05", "--seed", "5",
+             "-o", str(out)]
+        ) == 0
+        return str(out / "claims.csv")
+
+    def test_detect_remote_prints_cluster_stats(
+        self, cluster, claims_csv, capsys
+    ):
+        code = main(
+            ["detect", claims_csv, "--method", "index",
+             "--n-partitions", "3", "--executor", "remote",
+             "--workers", ",".join(cluster.addresses)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Copying detected" in out
+        assert "cluster: 2 worker(s)" in out
+
+    def test_fuse_remote_prints_cluster_stats(
+        self, cluster, claims_csv, capsys
+    ):
+        code = main(
+            ["fuse", claims_csv, "--method", "index", "--max-rounds", "3",
+             "--n-partitions", "3", "--executor", "remote",
+             "--workers", ",".join(cluster.addresses)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster: 2 worker(s)" in out
+
+    def test_workers_from_environment(
+        self, cluster, claims_csv, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_CLUSTER_WORKERS", ",".join(cluster.addresses)
+        )
+        code = main(
+            ["detect", claims_csv, "--method", "index",
+             "--n-partitions", "2", "--executor", "remote"]
+        )
+        assert code == 0
+        assert "cluster:" in capsys.readouterr().out
+
+    def test_remote_without_workers_fails_cleanly(
+        self, claims_csv, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_CLUSTER_WORKERS", raising=False)
+        with pytest.raises(SystemExit):
+            main(
+                ["detect", claims_csv, "--method", "index",
+                 "--n-partitions", "2", "--executor", "remote"]
+            )

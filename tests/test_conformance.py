@@ -125,7 +125,7 @@ class TestCaseConfig:
             assert len(labels) == len(set(labels))
 
     def test_smoke_grid_covers_required_axes(self):
-        """The acceptance surface: seven methods, two backends, three
+        """The acceptance surface: seven methods, two backends, all four
         executors, both reduce modes, multi-round incremental fusion."""
         grid = smoke_grid()
         methods = {c.method for c in grid}
@@ -134,7 +134,9 @@ class TestCaseConfig:
             "incremental", "none",
         }
         assert {c.backend for c in grid} == {"python", "numpy"}
-        assert {c.executor for c in grid} == {"serial", "threads", "processes"}
+        assert {c.executor for c in grid} == {
+            "serial", "threads", "processes", "remote",
+        }
         assert {c.reduce for c in grid} == {"flat", "tree"}
         assert {c.partition_by for c in grid} == {"entries", "work"}
         assert any(

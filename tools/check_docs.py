@@ -33,7 +33,11 @@ REPO = Path(__file__).resolve().parent.parent
 MARKDOWN = ["README.md", "ROADMAP.md", "docs"]
 
 #: Packages whose public surface must be fully docstringed.
-DOC_COVERAGE_PACKAGES = ["src/repro/serving", "src/repro/streaming"]
+DOC_COVERAGE_PACKAGES = [
+    "src/repro/cluster",
+    "src/repro/serving",
+    "src/repro/streaming",
+]
 
 #: ``[text](target)`` — good enough for the plain links these docs use
 #: (no support for angle-bracket or reference-style links; add it when
