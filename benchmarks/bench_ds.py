@@ -1,0 +1,182 @@
+"""Dempster-Shafer combination benchmark: reference loop vs columnar.
+
+PR 10 added a second truth-finding update (:mod:`repro.fusion.ds`):
+credibility-weighted mass functions combined by Dempster's rule with a
+per-item conflict diagnostic.  This bench times one full DS combination
+pass — support masses, per-value ``log1p`` sums, the shifted per-item
+renormalisation and the conflict dict — on the fusion bench's dense
+world, in both implementations:
+
+* ``python`` — the reference loop (:func:`ds_value_probabilities`).
+* ``numpy`` — the columnar kernel
+  (:func:`ds_value_probabilities_columnar` over
+  :class:`~repro.fusion.accu_kernel.FusionColumns`, layout pre-built —
+  the steady-state shape inside ``run_fusion``'s workspace).
+
+The ``check`` block self-verifies the lockstep contract the conformance
+grid enforces: identical fused truths, probabilities and per-item ``K``
+within 1e-9.  The acceptance bar is parity or better (``speedup >=
+1.0x``) for the columnar kernel, gated by ``check_regression.py`` — the
+kernel must never lose to the loop it replaces.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_ds.py [--smoke] [--output PATH]
+
+``--smoke`` shrinks the world for CI; ``--output`` redirects the
+artifact so the committed baseline stays untouched (baselines are
+historical records — regenerate only solo on an idle machine).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core import CopyParams
+from repro.fusion import choose_values, ds_value_probabilities
+from repro.fusion.accu_kernel import FusionColumns
+from repro.fusion.ds import ds_value_probabilities_columnar
+from repro.synth.generator import GeneratorConfig, generate
+
+OUTPUT_PATH = Path(__file__).parent / "output" / "BENCH_ds.json"
+
+#: The fusion bench's dense world: >= 200 sources, uniform coverage.
+WORLD_CONFIG = GeneratorConfig(
+    n_items=400,
+    n_independent_sources=200,
+    coverage_model="uniform",
+    coverage_range=(0.3, 0.6),
+    n_copier_groups=4,
+    copiers_per_group=3,
+)
+
+#: CI smoke world: same dense shape at roughly a quarter the incidences.
+SMOKE_WORLD_CONFIG = GeneratorConfig(
+    n_items=250,
+    n_independent_sources=130,
+    coverage_model="uniform",
+    coverage_range=(0.3, 0.6),
+    n_copier_groups=3,
+    copiers_per_group=2,
+)
+
+#: Combination passes per timed run — one pass is microseconds-scale on
+#: the smoke world, so batching keeps the timer above clock resolution.
+PASSES = 10
+
+TOL = 1e-9
+
+
+def _best_of(fn, repeats: int = 3) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run(smoke: bool = False) -> dict:
+    world = generate(SMOKE_WORLD_CONFIG if smoke else WORLD_CONFIG)
+    dataset = world.dataset
+    stats = dataset.stats()
+    params = CopyParams()
+    accuracies = [0.8] * dataset.n_sources
+    cols = FusionColumns.from_dataset(dataset)
+
+    def python_pass():
+        for _ in range(PASSES):
+            result = ds_value_probabilities(dataset, accuracies, params)
+        return result
+
+    def numpy_pass():
+        for _ in range(PASSES):
+            result = ds_value_probabilities_columnar(cols, accuracies, params)
+        return result
+
+    t_python, r_python = _best_of(python_pass)
+    t_numpy, r_numpy = _best_of(numpy_pass)
+
+    prob_drift = max(
+        abs(float(a) - float(b))
+        for a, b in zip(r_python.probabilities, r_numpy.probabilities)
+    )
+    conflict_drift = max(
+        abs(r_python.conflict[item] - r_numpy.conflict[item])
+        for item in r_python.conflict
+    )
+    truths_match = choose_values(dataset, r_python.probabilities) == choose_values(
+        dataset, [float(p) for p in r_numpy.probabilities]
+    )
+    lockstep = (
+        set(r_python.conflict) == set(r_numpy.conflict)
+        and prob_drift <= TOL
+        and conflict_drift <= TOL
+    )
+
+    timings = {
+        "ds_combination": {
+            "python": t_python,
+            "numpy": t_numpy,
+            "speedup": t_python / t_numpy,
+        }
+    }
+    return {
+        "benchmark": "ds",
+        "smoke": smoke,
+        "world": {
+            "n_sources": stats.n_sources,
+            "n_items": stats.n_items,
+            "n_values": stats.n_distinct_values,
+            "index_entries": stats.n_index_entries,
+        },
+        "passes": PASSES,
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "timings_seconds": timings,
+        "check": {
+            "target": "lockstep probabilities/conflict within 1e-9, "
+            "identical truths, columnar speedup >= 1.0x",
+            "truths_match": truths_match,
+            "lockstep": lockstep,
+            "prob_drift": prob_drift,
+            "conflict_drift": conflict_drift,
+            "passed": bool(
+                truths_match
+                and lockstep
+                and timings["ds_combination"]["speedup"] >= 1.0
+            ),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small world for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT_PATH, help="artifact path"
+    )
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    pair = report["timings_seconds"]["ds_combination"]
+    print(
+        f"ds combination ({report['passes']} passes) "
+        f"python={pair['python']:.4f}s numpy={pair['numpy']:.4f}s "
+        f"speedup={pair['speedup']:.1f}x"
+    )
+    print(f"check: {report['check']['target']} -> passed={report['check']['passed']}")
+    print(f"artifact -> {args.output}")
+    return 0 if report["check"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

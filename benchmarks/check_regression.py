@@ -34,6 +34,7 @@ Run locally::
     PYTHONPATH=src python benchmarks/bench_serve.py --smoke --output /tmp/fresh/BENCH_serve.json
     PYTHONPATH=src python benchmarks/bench_stream.py --smoke --output /tmp/fresh/BENCH_stream.json
     PYTHONPATH=src python benchmarks/bench_cluster.py --smoke --output /tmp/fresh/BENCH_cluster.json
+    PYTHONPATH=src python benchmarks/bench_ds.py --smoke --output /tmp/fresh/BENCH_ds.json
     python benchmarks/check_regression.py --fresh /tmp/fresh
 
 CI runs exactly this sequence (see ``.github/workflows/ci.yml``).
@@ -72,8 +73,17 @@ DEFAULT_TOLERANCE = 0.15
 #: its artifact records (``floors.min_cpus``): a 1-core container
 #: cannot scale by adding workers, and pretending otherwise would gate
 #: on physics, not regressions.  Its bit-identical/broadcast-once
-#: correctness check applies everywhere.
-BENCH_FLOORS = {"scale": 1.0, "serve": 10.0, "stream": 1.0, "cluster": 2.0}
+#: correctness check applies everywhere.  The DS bench gates the
+#: columnar Dempster-Shafer kernel at parity with the reference loop
+#: (its real gate is the 1e-9 lockstep self-check; the measured speedup
+#: is ~15x, but parity is what must never regress).
+BENCH_FLOORS = {
+    "scale": 1.0,
+    "serve": 10.0,
+    "stream": 1.0,
+    "cluster": 2.0,
+    "ds": 1.0,
+}
 
 
 def _load(directory: Path, name: str) -> dict | None:
@@ -112,6 +122,12 @@ def _speedups(report: dict, benchmark: str) -> dict[str, float]:
         }
     if benchmark == "serve":
         return {"read_api": report["timings_seconds"]["read_api"]["speedup"]}
+    if benchmark == "ds":
+        return {
+            "ds_combination": report["timings_seconds"]["ds_combination"][
+                "speedup"
+            ]
+        }
     if benchmark == "stream":
         # Absolute gates expressed as measured/floor ratios so the
         # shared parity-floor machinery applies: >= 1.0 means the run
@@ -155,6 +171,7 @@ def check(
         ("BENCH_serve.json", "serve", True),
         ("BENCH_stream.json", "stream", True),
         ("BENCH_cluster.json", "cluster", False),
+        ("BENCH_ds.json", "ds", True),
     ]
     for filename, benchmark, required in specs:
         bench_floor = BENCH_FLOORS.get(benchmark, floor)
@@ -227,6 +244,14 @@ def check(
                     f"scaling floor is not measurable here (correctness "
                     f"still gated)"
                 )
+        if benchmark == "ds":
+            if not (fresh["check"]["truths_match"] and fresh["check"]["lockstep"]):
+                print(
+                    f"FAIL  {filename}: DS implementations disagree "
+                    f"(prob drift {fresh['check']['prob_drift']:.2e}, "
+                    f"conflict drift {fresh['check']['conflict_drift']:.2e})"
+                )
+                failures += 1
         if benchmark == "scale":
             mismatched = [
                 label

@@ -48,7 +48,13 @@ from .core import (
 )
 from .data import load_claims, load_gold, save_claims, save_gold
 from .eval import render_table
-from .fusion import FusionConfig, run_fusion, vote_probabilities
+from .fusion import (
+    FUSION_METHOD_VALUES,
+    CredibilityModel,
+    FusionConfig,
+    run_fusion,
+    vote_probabilities,
+)
 from .synth import PROFILES, make_profile
 
 
@@ -91,6 +97,59 @@ def _params(args: argparse.Namespace) -> CopyParams:
         n=args.n,
         backend=args.backend,
         pair_layout=args.pair_layout,
+    )
+
+
+def _add_fusion_method(parser: argparse.ArgumentParser) -> None:
+    """The truth-finding method flags shared by ``fuse`` and ``serve``."""
+    parser.add_argument(
+        "--fusion",
+        choices=list(FUSION_METHOD_VALUES),
+        default="accu",
+        help="truth-finding update: 'accu' (the paper's softmax, default) "
+        "or 'ds' (Dempster-Shafer: credibility-weighted mass functions, "
+        "per-item conflict diagnostics, pignistic truths)",
+    )
+    parser.add_argument(
+        "--credibility-file",
+        default=None,
+        metavar="FILE",
+        help="per-source credibility priors for --fusion ds: a JSON "
+        "object or 'name,weight' CSV ('*' sets the default weight)",
+    )
+    parser.add_argument(
+        "--ds-uncertainty",
+        type=float,
+        default=0.0,
+        metavar="U",
+        help="mass each DS claim reserves for 'I don't know' "
+        "(0 <= U < 1, default 0)",
+    )
+
+
+def _fusion_config(args: argparse.Namespace) -> FusionConfig:
+    """A :class:`FusionConfig` from the shared CLI flags.
+
+    Rejects credibility/uncertainty flags without ``--fusion ds`` here,
+    with a clean ``SystemExit``, rather than letting ``run_fusion``'s
+    ValueError surface as a traceback.
+    """
+    if args.fusion != "ds":
+        if args.credibility_file is not None:
+            raise SystemExit("--credibility-file requires --fusion ds")
+        if args.ds_uncertainty != 0.0:
+            raise SystemExit("--ds-uncertainty requires --fusion ds")
+    credibility = None
+    if args.credibility_file is not None:
+        try:
+            credibility = CredibilityModel.from_file(args.credibility_file)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"--credibility-file: {exc}")
+    return FusionConfig(
+        max_rounds=args.max_rounds,
+        fusion_method=args.fusion,
+        credibility=credibility,
+        ds_uncertainty=args.ds_uncertainty,
     )
 
 
@@ -330,7 +389,7 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
             partition_by=args.partition_by,
             cluster=cluster,
         )
-    config = FusionConfig(max_rounds=args.max_rounds)
+    config = _fusion_config(args)
     try:
         result = run_fusion(dataset, params, detector=detector, config=config)
     finally:
@@ -343,6 +402,14 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         f"detection={result.detection_seconds:.3f}s "
         f"computations={result.total_computations:,}"
     )
+    conflict = result.final_conflict()
+    if conflict:
+        worst_item, worst_k = max(conflict.items(), key=lambda kv: kv[1])
+        mean_k = sum(conflict.values()) / len(conflict)
+        print(
+            f"DS conflict: mean K = {mean_k:.4f}, max K = {worst_k:.4f} "
+            f"on {dataset.item_names[worst_item]!r}"
+        )
     if args.gold:
         gold = load_gold(args.gold)
         print(f"fusion accuracy: {gold.accuracy_of(dataset, result.chosen):.3f}")
@@ -519,7 +586,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine = StreamEngine(
             store=store,
             params=params,
-            config=FusionConfig(max_rounds=args.max_rounds),
+            config=_fusion_config(args),
             warm_start=not args.cold_epochs,
         )
         service = StreamingService(
@@ -730,6 +797,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_params(p_fuse)
     _add_parallel(p_fuse)
+    _add_fusion_method(p_fuse)
     p_fuse.set_defaults(func=_cmd_fuse)
 
     p_bench = sub.add_parser(
@@ -856,6 +924,7 @@ def build_parser() -> argparse.ArgumentParser:
         "is bit-identical to a batch run over the accumulated claims)",
     )
     _add_params(p_serve)
+    _add_fusion_method(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_worker = sub.add_parser(

@@ -69,6 +69,7 @@ from ..core import (
 )
 from ..core.index import EntryOrdering
 from ..core.result import DetectionResult
+from ..fusion.pipeline import FUSION_METHOD_VALUES
 from .generators import World, generate_world
 
 #: Absolute tolerance of the ``numeric`` contract — the property-tested
@@ -110,6 +111,11 @@ class CaseConfig:
     band: tuple[float, float] | None = None
     rounds: int = 4
     pair_layout: str = "auto"
+    #: Truth-finding update under test in ``fusion`` mode: ``"accu"``
+    #: (the default softmax) or ``"ds"`` (Dempster-Shafer — both sides
+    #: run the DS combination and the per-item conflict dicts are part
+    #: of the compared surface).
+    fusion_method: str = "accu"
 
     def __post_init__(self) -> None:
         valid = {
@@ -127,6 +133,15 @@ class CaseConfig:
             raise ValueError(f"unknown ordering {self.ordering!r}")
         if self.pair_layout not in PAIR_LAYOUTS:
             raise ValueError(f"unknown pair layout {self.pair_layout!r}")
+        if self.fusion_method not in FUSION_METHOD_VALUES:
+            raise ValueError(
+                f"unknown fusion method {self.fusion_method!r}"
+            )
+        if self.fusion_method != "accu" and self.mode != "fusion":
+            raise ValueError(
+                f"fusion_method {self.fusion_method!r} applies to mode "
+                f"'fusion' only, not {self.mode!r}"
+            )
 
     @property
     def label(self) -> str:
@@ -151,6 +166,8 @@ class CaseConfig:
             parts.append("band")
         if self.mode == "fusion":
             parts.append(f"r{self.rounds}")
+        if self.fusion_method != "accu":
+            parts.append(self.fusion_method)
         if self.pair_layout != "auto":
             parts.append(self.pair_layout)
         return ":".join(parts)
@@ -435,9 +452,17 @@ def _fusion_case(dataset, config: CaseConfig) -> list[str]:
     the round's tie-aware fused truths.  Both detectors (stateful
     INCREMENTAL included) see exactly the same inputs every round, so
     their cross-round state stays comparable by construction.
+
+    Under ``fusion_method == "ds"`` the value-probability step runs the
+    Dempster-Shafer combination instead (reference loop vs columnar
+    kernel) and each round's per-item conflict dict joins the compared
+    surface at the same tolerance; the accuracy update is the shared
+    ACCU re-estimate either way, exactly as in ``run_fusion``.
     """
     from ..fusion import choose_values, update_accuracies, value_probabilities
+    from ..fusion.ds import ds_value_probabilities
 
+    ds = config.fusion_method == "ds"
     params = _params(config.backend, config.pair_layout)
     ref_params = _params("python")
     fusion_backend = config.fusion_backend or config.backend
@@ -452,8 +477,22 @@ def _fusion_case(dataset, config: CaseConfig) -> list[str]:
 
         cols = FusionColumns.from_dataset(dataset)
 
-        def candidate_probs(accs, detection=None):
-            return value_probabilities_columnar(cols, accs, params, detection)
+        if ds:
+            from ..fusion.ds import ds_value_probabilities_columnar
+
+            def candidate_probs(accs, detection=None):
+                round_ = ds_value_probabilities_columnar(
+                    cols, accs, params, detection=detection
+                )
+                return round_.probabilities, round_.conflict
+
+        else:
+
+            def candidate_probs(accs, detection=None):
+                return (
+                    value_probabilities_columnar(cols, accs, params, detection),
+                    None,
+                )
 
         def candidate_accs(probs):
             return update_accuracies_columnar(
@@ -462,9 +501,23 @@ def _fusion_case(dataset, config: CaseConfig) -> list[str]:
 
         update_tol = NUMERIC_TOL
     else:
+        if ds:
 
-        def candidate_probs(accs, detection=None):
-            return value_probabilities(dataset, accs, params, detection=detection)
+            def candidate_probs(accs, detection=None):
+                round_ = ds_value_probabilities(
+                    dataset, accs, params, detection=detection
+                )
+                return round_.probabilities, round_.conflict
+
+        else:
+
+            def candidate_probs(accs, detection=None):
+                return (
+                    value_probabilities(
+                        dataset, accs, params, detection=detection
+                    ),
+                    None,
+                )
 
         def candidate_accs(probs):
             return update_accuracies(dataset, probs, params)
@@ -472,6 +525,17 @@ def _fusion_case(dataset, config: CaseConfig) -> list[str]:
         # Same reference loops on both sides: any difference is
         # nondeterminism, which is itself a divergence.
         update_tol = 0.0
+
+    def reference_probs(accs, detection=None):
+        if ds:
+            round_ = ds_value_probabilities(
+                dataset, accs, ref_params, detection=detection
+            )
+            return round_.probabilities, round_.conflict
+        return (
+            value_probabilities(dataset, accs, ref_params, detection=detection),
+            None,
+        )
 
     if config.backend == "python":
         detection_contract = "bitexact"
@@ -527,15 +591,30 @@ def _fusion_case(dataset, config: CaseConfig) -> list[str]:
                 f"({got_value} vs {ref_value})"
             )
 
+    def compare_conflict(round_no: int, got, ref) -> None:
+        if got is None and ref is None:
+            return
+        if got is None or ref is None or set(got) != set(ref):
+            problems.append(
+                f"round {round_no}: conflict items differ "
+                f"({None if got is None else sorted(got)[:5]} vs "
+                f"{None if ref is None else sorted(ref)[:5]})"
+            )
+            return
+        problems.extend(
+            f"round {round_no}: conflict[{item}] drift "
+            f"{got[item]!r} vs {ref[item]!r}"
+            for item in sorted(got)
+            if abs(got[item] - ref[item]) > update_tol
+        )
+
     # The cold start (FusionConfig.initial_accuracy's default).
     accuracies = [0.8] * dataset.n_sources
-    probabilities = [float(p) for p in candidate_probs(accuracies)]
-    compare_vector(
-        0,
-        "probabilities",
-        probabilities,
-        value_probabilities(dataset, accuracies, ref_params),
-    )
+    cand_probs, cand_conflict = candidate_probs(accuracies)
+    probabilities = [float(p) for p in cand_probs]
+    ref_probs, ref_conflict = reference_probs(accuracies)
+    compare_vector(0, "probabilities", probabilities, ref_probs)
+    compare_conflict(0, cand_conflict, ref_conflict)
 
     for round_no in range(1, config.rounds + 1):
         detection = None
@@ -556,12 +635,12 @@ def _fusion_case(dataset, config: CaseConfig) -> list[str]:
                     config.method,
                 )
             )
-        new_probs = [float(p) for p in candidate_probs(accuracies, detection)]
-        ref_probs = value_probabilities(
-            dataset, accuracies, ref_params, detection=detection
-        )
+        cand_probs, cand_conflict = candidate_probs(accuracies, detection)
+        new_probs = [float(p) for p in cand_probs]
+        ref_probs, ref_conflict = reference_probs(accuracies, detection)
         compare_vector(round_no, "probabilities", new_probs, ref_probs)
         compare_truths(round_no, new_probs, ref_probs)
+        compare_conflict(round_no, cand_conflict, ref_conflict)
         new_accs = [float(a) for a in candidate_accs(new_probs)]
         compare_vector(
             round_no,
@@ -711,6 +790,10 @@ def smoke_grid() -> list[CaseConfig]:
                    fusion_backend="numpy", rounds=4),
         CaseConfig("fusion", "index", n_partitions=2, executor="threads",
                    reduce="tree", rounds=3),
+        # Dempster-Shafer fusion: reference DS loop vs columnar DS
+        # kernel, per-item conflict dicts part of the compared surface.
+        CaseConfig("fusion", "none", fusion_method="ds", rounds=3),
+        CaseConfig("fusion", "hybrid", fusion_method="ds", rounds=3),
     ]
     return configs
 
@@ -760,6 +843,12 @@ def full_grid() -> list[CaseConfig]:
                    reduce="flat"),
         CaseConfig("fusion", "index", n_partitions=2, executor="remote",
                    reduce="tree", rounds=3),
+        # Deeper Dempster-Shafer coverage: the stateful INCREMENTAL
+        # detector and the mixed-backend (python detection, numpy DS
+        # fusion) split.
+        CaseConfig("fusion", "incremental", fusion_method="ds", rounds=4),
+        CaseConfig("fusion", "none", backend="python",
+                   fusion_backend="numpy", fusion_method="ds", rounds=4),
     ]
     return configs
 

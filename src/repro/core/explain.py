@@ -12,7 +12,7 @@ CLI renders for ``detect --explain``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..data import Dataset
 from .contribution import CopyPosterior, posterior, same_value_scores_both
@@ -31,6 +31,9 @@ class EvidenceItem:
     probability: float | None  #: P(D.v) of the shared value (None if differing)
     c_fwd: float
     c_bwd: float
+    #: Dempster conflict ``K`` of the item under a DS fusion run (None
+    #: when fused with ACCU, or when no conflict map was supplied).
+    conflict: float | None = None
 
 
 @dataclass(frozen=True)
@@ -51,6 +54,10 @@ class PairExplanation:
             :func:`explain_pair`; None otherwise.  May differ from the
             recomputed ``posterior`` when the stored verdict is an early
             (bound-based) one.
+        credibility_a / credibility_b: each source's effective
+            credibility weight under a DS fusion run — how much the
+            :class:`~repro.fusion.credibility.CredibilityModel` scaled
+            its evidence (None outside DS runs).
     """
 
     source_a: str
@@ -62,6 +69,8 @@ class PairExplanation:
     c_bwd: float
     posterior: CopyPosterior
     detected: PairDecision | None = None
+    credibility_a: float | None = None
+    credibility_b: float | None = None
 
     @property
     def copying(self) -> bool:
@@ -81,16 +90,22 @@ class PairExplanation:
             f"shared values = {self.n_shared_values}, "
             f"disagreements = {self.n_different}",
         ]
+        if self.credibility_a is not None and self.credibility_b is not None:
+            lines.append(
+                f"  credibility: {self.source_a} = {self.credibility_a:.3f}, "
+                f"{self.source_b} = {self.credibility_b:.3f}"
+            )
         for ev in self.items[:max_items]:
+            conflict = "" if ev.conflict is None else f" [K={ev.conflict:.3f}]"
             if ev.shared:
                 lines.append(
                     f"  + {ev.item} = {ev.value_a!r} "
-                    f"(P={ev.probability:.3f}) -> {ev.c_fwd:+.3f}"
+                    f"(P={ev.probability:.3f}) -> {ev.c_fwd:+.3f}{conflict}"
                 )
             else:
                 lines.append(
                     f"  - {ev.item}: {ev.value_a!r} vs {ev.value_b!r} "
-                    f"-> {ev.c_fwd:+.3f}"
+                    f"-> {ev.c_fwd:+.3f}{conflict}"
                 )
         hidden = len(self.items) - max_items
         if hidden > 0:
@@ -106,6 +121,8 @@ def explain_pair(
     accuracies: Sequence[float],
     params: CopyParams,
     result: DetectionResult | None = None,
+    credibility: Sequence[float] | None = None,
+    conflict: Mapping[int, float] | None = None,
 ) -> PairExplanation:
     """Break down the evidence between two sources item by item.
 
@@ -124,6 +141,12 @@ def explain_pair(
             :class:`~repro.core.result.PairNotObservedError` instead of
             leaking a raw ``KeyError``/``IndexError`` from the decision
             lookup or slot decode.
+        credibility: effective per-source credibility weights of a DS
+            fusion run (:attr:`~repro.fusion.FusionResult.credibility`);
+            surfaces the pair's weights on the explanation.
+        conflict: per-item Dempster conflict degrees of a DS run
+            (:meth:`~repro.fusion.FusionResult.final_conflict`);
+            annotates each shared item's evidence with its ``K``.
 
     Raises:
         ValueError: if the two ids coincide or are out of range.
@@ -153,6 +176,7 @@ def explain_pair(
         if value_b is None:
             continue
         item_name = dataset.item_names[item_id]
+        item_conflict = None if conflict is None else conflict.get(item_id)
         if value_a == value_b:
             p_true = probabilities[value_a]
             fwd, bwd = same_value_scores_both(
@@ -167,6 +191,7 @@ def explain_pair(
                     probability=p_true,
                     c_fwd=fwd,
                     c_bwd=bwd,
+                    conflict=item_conflict,
                 )
             )
             c_fwd += fwd
@@ -182,6 +207,7 @@ def explain_pair(
                     probability=None,
                     c_fwd=ln_diff,
                     c_bwd=ln_diff,
+                    conflict=item_conflict,
                 )
             )
             c_fwd += ln_diff
@@ -199,4 +225,6 @@ def explain_pair(
         c_bwd=c_bwd,
         posterior=posterior(c_fwd, c_bwd, params),
         detected=detected,
+        credibility_a=None if credibility is None else float(credibility[source_a]),
+        credibility_b=None if credibility is None else float(credibility[source_b]),
     )

@@ -1,4 +1,4 @@
-"""Truth finding (data fusion): VOTE, ACCU, and the ACCUCOPY loop."""
+"""Truth finding (data fusion): VOTE, ACCU/ACCUCOPY, and Dempster-Shafer."""
 
 from .accu import (
     accuracy_score,
@@ -7,7 +7,15 @@ from .accu import (
     update_accuracies,
     value_probabilities,
 )
+from .credibility import CredibilityModel
+from .ds import (
+    DSRound,
+    TotalConflictError,
+    ds_value_probabilities,
+    support_masses,
+)
 from .pipeline import (
+    FUSION_METHOD_VALUES,
     FusionConfig,
     FusionResult,
     RoundDetector,
@@ -17,15 +25,22 @@ from .pipeline import (
 from .voting import vote, vote_probabilities
 
 __all__ = [
+    "CredibilityModel",
+    "DSRound",
+    "FUSION_METHOD_VALUES",
     "FusionConfig",
     "FusionResult",
     "FusionWorkspace",
     "RoundDetector",
     "RoundRecord",
+    "TotalConflictError",
     "accuracy_score",
     "choose_values",
+    "ds_value_probabilities",
+    "ds_value_probabilities_columnar",
     "independence_weights",
     "run_fusion",
+    "support_masses",
     "update_accuracies",
     "value_probabilities",
     "vote",
@@ -44,4 +59,8 @@ def __getattr__(name: str):
         from .workspace import FusionWorkspace
 
         return FusionWorkspace
+    if name == "ds_value_probabilities_columnar":
+        from .ds import ds_value_probabilities_columnar
+
+        return ds_value_probabilities_columnar
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -107,6 +107,8 @@ class FusionColumns:
         seg_starts: offsets of each represented item's segment inside
             ``item_order``, shape ``(n_segments + 1,)``.
         seg_sizes: values per segment (``np.diff(seg_starts)``).
+        seg_items: item id per segment, shape ``(n_segments,)`` — the
+            key stream for per-item diagnostics (the DS conflict dict).
     """
 
     n_sources: int
@@ -120,6 +122,7 @@ class FusionColumns:
     item_order: np.ndarray
     seg_starts: np.ndarray
     seg_sizes: np.ndarray
+    seg_items: np.ndarray
 
     @classmethod
     def from_dataset(cls, dataset: "Dataset") -> "FusionColumns":
@@ -174,6 +177,7 @@ class FusionColumns:
             item_order=item_order,
             seg_starts=seg_starts,
             seg_sizes=np.diff(seg_starts),
+            seg_items=sorted_items[seg_starts[:-1]],
         )
 
 

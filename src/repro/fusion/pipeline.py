@@ -25,12 +25,18 @@ from ..core.params import BACKENDS, CopyParams
 from ..core.result import DetectionResult
 from ..data import Dataset
 from .accu import choose_values, update_accuracies, value_probabilities
+from .credibility import CredibilityModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from pathlib import Path
 
     from ..serving.store import VerdictStore
     from .workspace import FusionWorkspace
+
+#: Valid ``FusionConfig.fusion_method`` values: the ACCU/ACCUCOPY
+#: softmax (the paper's model) or Dempster-Shafer combination with
+#: credibility priors and per-item conflict diagnostics.
+FUSION_METHOD_VALUES = ("accu", "ds")
 
 
 class RoundDetector(Protocol):
@@ -43,6 +49,7 @@ class RoundDetector(Protocol):
         probabilities: Sequence[float],
         accuracies: Sequence[float],
     ) -> DetectionResult:  # pragma: no cover - protocol
+        """Detect copying under the round's current estimates."""
         ...
 
 
@@ -65,6 +72,22 @@ class FusionConfig:
             each epoch from the previous epoch's converged accuracies so
             the loop re-converges in a couple of rounds instead of from
             scratch.  Must have one entry per source when given.
+        fusion_method: the truth-finding update — ``"accu"`` (the
+            paper's ACCU/ACCUCOPY softmax, the default) or ``"ds"``
+            (Dempster-Shafer combination, :mod:`repro.fusion.ds`: mass
+            functions weighted by accuracy x credibility, per-item
+            conflict degree ``K`` on every :class:`RoundRecord`,
+            pignistic truths).
+        credibility: per-source priors for the DS method
+            (:class:`~repro.fusion.credibility.CredibilityModel`);
+            ``None`` means the flat model.  Rejected when
+            ``fusion_method == "accu"`` — the ACCU math has no slot for
+            it, and silently ignoring a configured prior would be worse
+            than failing.
+        ds_uncertainty: mass reserve each DS claim leaves on Θ
+            (``0 <= ds_uncertainty < 1``); like ``credibility``, a
+            non-default value is rejected when ``fusion_method`` is
+            ``"accu"``.
     """
 
     max_rounds: int = 12
@@ -72,17 +95,26 @@ class FusionConfig:
     min_rounds: int = 3
     initial_accuracy: float = 0.8
     initial_accuracies: Sequence[float] | None = None
+    fusion_method: str = "accu"
+    credibility: CredibilityModel | None = None
+    ds_uncertainty: float = 0.0
 
 
 @dataclass
 class RoundRecord:
-    """What happened in one fusion round."""
+    """What happened in one fusion round.
+
+    ``conflict`` is the Dempster conflict degree ``K in [0, 1]`` per
+    represented item id — populated by the ``"ds"`` fusion method,
+    ``None`` under ``"accu"`` (whose softmax has no conflict notion).
+    """
 
     round_no: int
     detection: DetectionResult | None
     accuracy_change: float
     detection_seconds: float
     fusion_seconds: float
+    conflict: dict[int, float] | None = None
 
 
 @dataclass
@@ -98,6 +130,8 @@ class FusionResult:
         snapshot_ids: per-round verdict-store snapshot ids, when the run
             published to one (``run_fusion(snapshot_store=...)``); empty
             otherwise.
+        credibility: effective per-source credibility under the final
+            accuracies (``"ds"`` runs only; ``None`` under ``"accu"``).
     """
 
     probabilities: list[float]
@@ -106,10 +140,19 @@ class FusionResult:
     rounds: list[RoundRecord] = field(default_factory=list)
     converged: bool = False
     snapshot_ids: list[int] = field(default_factory=list)
+    credibility: list[float] | None = None
 
     @property
     def n_rounds(self) -> int:
+        """Number of rounds the loop actually ran."""
         return len(self.rounds)
+
+    def final_conflict(self) -> dict[int, float] | None:
+        """The last round's per-item conflict degrees (DS runs only)."""
+        for record in reversed(self.rounds):
+            if record.conflict is not None:
+                return record.conflict
+        return None
 
     @property
     def detection_seconds(self) -> float:
@@ -196,15 +239,45 @@ def run_fusion(
         The converged :class:`FusionResult`.
 
     Raises:
-        ValueError: for an unknown ``fusion_backend``, a ``workspace``
-            built for a different dataset, or mis-sized
-            ``config.initial_accuracies``.
+        ValueError: for an unknown ``fusion_backend`` or
+            ``config.fusion_method``, a credibility model or
+            uncertainty reserve configured without ``fusion_method ==
+            "ds"``, a ``workspace`` built for a different dataset, or
+            mis-sized ``config.initial_accuracies``.
     """
     cfg = config or FusionConfig()
     backend = params.backend if fusion_backend is None else fusion_backend
+    # Every config check lives up here, before the workspace, the
+    # snapshot publisher (whose VerdictStore mkdirs its directory!) or
+    # the detector binding exist: an invalid config must raise with
+    # zero side effects on the store or the detector.
     if backend not in BACKENDS:
         raise ValueError(
             f"fusion_backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    if cfg.fusion_method not in FUSION_METHOD_VALUES:
+        raise ValueError(
+            f"fusion_method must be one of {FUSION_METHOD_VALUES}, "
+            f"got {cfg.fusion_method!r}"
+        )
+    if not 0.0 <= cfg.ds_uncertainty < 1.0:
+        raise ValueError(
+            f"ds_uncertainty must be in [0, 1), got {cfg.ds_uncertainty!r}"
+        )
+    if cfg.fusion_method != "ds":
+        if cfg.credibility is not None:
+            raise ValueError(
+                "credibility priors require fusion_method='ds' "
+                "(the ACCU softmax has no slot for them)"
+            )
+        if cfg.ds_uncertainty != 0.0:
+            raise ValueError("ds_uncertainty requires fusion_method='ds'")
+    if cfg.initial_accuracies is not None and (
+        len(cfg.initial_accuracies) != dataset.n_sources
+    ):
+        raise ValueError(
+            "initial_accuracies must have one entry per source "
+            f"({len(cfg.initial_accuracies)} != {dataset.n_sources})"
         )
     if workspace is not None and workspace.dataset is not dataset:
         raise ValueError("the workspace was built for a different dataset")
@@ -221,6 +294,16 @@ def run_fusion(
         workspace = FusionWorkspace(dataset, params)
         owns_workspace = True
 
+    # The per-round update step: ``_value_probs`` returns the round's
+    # ``(probabilities, conflict-or-None)`` so the DS conflict degrees
+    # ride the same code path the ACCU probabilities do.
+    cred_model = cfg.credibility
+
+    def _effective_credibility(accs):
+        if cred_model is None:
+            return None
+        return cred_model.effective(dataset.source_names, accs)
+
     if backend == "numpy":
         from .accu_kernel import (
             update_accuracies_columnar,
@@ -229,16 +312,55 @@ def run_fusion(
 
         cols = workspace.fusion_columns
 
-        def _value_probs(accs, detection=None):
-            return value_probabilities_columnar(cols, accs, params, detection)
+        if cfg.fusion_method == "ds":
+            from .ds import ds_value_probabilities_columnar
+
+            def _value_probs(accs, detection=None):
+                round_ = ds_value_probabilities_columnar(
+                    cols,
+                    accs,
+                    params,
+                    detection=detection,
+                    credibility=_effective_credibility(accs),
+                    uncertainty=cfg.ds_uncertainty,
+                )
+                return round_.probabilities, round_.conflict
+
+        else:
+
+            def _value_probs(accs, detection=None):
+                return (
+                    value_probabilities_columnar(cols, accs, params, detection),
+                    None,
+                )
 
         def _update_accs(probs):
             return update_accuracies_columnar(cols, probs, params)
 
     else:
+        if cfg.fusion_method == "ds":
+            from .ds import ds_value_probabilities
 
-        def _value_probs(accs, detection=None):
-            return value_probabilities(dataset, accs, params, detection=detection)
+            def _value_probs(accs, detection=None):
+                round_ = ds_value_probabilities(
+                    dataset,
+                    accs,
+                    params,
+                    detection=detection,
+                    credibility=_effective_credibility(accs),
+                    uncertainty=cfg.ds_uncertainty,
+                )
+                return round_.probabilities, round_.conflict
+
+        else:
+
+            def _value_probs(accs, detection=None):
+                return (
+                    value_probabilities(
+                        dataset, accs, params, detection=detection
+                    ),
+                    None,
+                )
 
         def _update_accs(probs):
             return update_accuracies(dataset, probs, params)
@@ -258,15 +380,10 @@ def run_fusion(
         if detector_bound:
             detector.bind_workspace(workspace)
         if cfg.initial_accuracies is not None:
-            if len(cfg.initial_accuracies) != dataset.n_sources:
-                raise ValueError(
-                    "initial_accuracies must have one entry per source "
-                    f"({len(cfg.initial_accuracies)} != {dataset.n_sources})"
-                )
             accuracies = [float(a) for a in cfg.initial_accuracies]
         else:
             accuracies = [cfg.initial_accuracy] * dataset.n_sources
-        probabilities = _value_probs(accuracies)
+        probabilities, _ = _value_probs(accuracies)
         rounds: list[RoundRecord] = []
         converged = False
 
@@ -281,7 +398,7 @@ def run_fusion(
                 detection_seconds = time.perf_counter() - start
 
             start = time.perf_counter()
-            probabilities = _value_probs(accuracies, detection=detection)
+            probabilities, conflict = _value_probs(accuracies, detection=detection)
             new_accuracies = _update_accs(probabilities)
             fusion_seconds = time.perf_counter() - start
 
@@ -297,6 +414,7 @@ def run_fusion(
                     accuracy_change=change,
                     detection_seconds=detection_seconds,
                     fusion_seconds=fusion_seconds,
+                    conflict=conflict,
                 )
             )
             if publisher is not None:
@@ -310,6 +428,11 @@ def run_fusion(
                 converged = True
                 break
 
+        credibility = None
+        if cfg.fusion_method == "ds":
+            credibility = (cred_model or CredibilityModel.flat()).effective(
+                dataset.source_names, accuracies
+            )
         return FusionResult(
             probabilities=_as_float_list(probabilities),
             accuracies=_as_float_list(accuracies),
@@ -317,6 +440,7 @@ def run_fusion(
             rounds=rounds,
             converged=converged,
             snapshot_ids=list(publisher.snapshot_ids) if publisher else [],
+            credibility=credibility,
         )
     finally:
         # Detectors outlive fusion runs; never leave one holding a

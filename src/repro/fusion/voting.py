@@ -14,7 +14,19 @@ from ..data import Dataset
 def vote(dataset: Dataset) -> dict[int, int]:
     """Pick the most-provided value per item.
 
-    Ties break toward the lowest value id (deterministic).
+    **Tie contract.**  Ties break toward the lowest value id.  Value ids
+    are interned in first-appearance order of ``(item, value)`` pairs —
+    identically by ``DatasetBuilder`` and ``ClaimLedger`` — so the
+    winner of a tie is the value *claimed first*, a property of the
+    claim stream itself, not of any container's iteration quirks.  The
+    copy-detection bootstrap (:func:`vote_probabilities`) therefore sees
+    the same deterministic input however the dataset was built.
+
+    Values with zero remaining providers (possible after ``ClaimLedger``
+    retractions; never produced by ``DatasetBuilder``) are skipped: a
+    value nobody currently claims cannot win, which keeps ``vote``
+    consistent with :func:`vote_probabilities` assigning it probability
+    0.  An item whose values were *all* retracted gets no winner.
 
     Returns:
         Mapping ``item_id -> winning value_id`` for every claimed item.
@@ -22,6 +34,8 @@ def vote(dataset: Dataset) -> dict[int, int]:
     best: dict[int, tuple[int, int]] = {}  # item -> (-votes, value_id)
     providers = dataset.providers
     for value_id, provider_list in enumerate(providers):
+        if not provider_list:  # retracted: see the tie contract above
+            continue
         item_id = dataset.value_item[value_id]
         key = (-len(provider_list), value_id)
         if item_id not in best or key < best[item_id]:
@@ -33,7 +47,12 @@ def vote_probabilities(dataset: Dataset) -> list[float]:
     """Vote shares as pseudo-probabilities (per value id).
 
     ``P(v) = votes(v) / votes(item)`` — useful as a copy-detection input
-    when no accuracy model is wanted.
+    when no accuracy model is wanted.  Deterministic under the same
+    contract as :func:`vote`: shares depend only on provider counts, so
+    ``DatasetBuilder`` and ``ClaimLedger`` builds of the same claim
+    stream produce identical vectors; zero-provider values score 0.0
+    (and an all-retracted item's values all score 0.0, matching
+    :func:`vote` electing no winner there).
     """
     totals = [0] * dataset.n_items
     for value_id, provider_list in enumerate(dataset.providers):

@@ -87,6 +87,10 @@ class EpochState:
             ran copy-oblivious).
         snapshot_id: the verdict-store snapshot this epoch published
             (None when the engine runs without a store).
+        conflict: the final round's Dempster conflict ``K`` per item id
+            (``fusion_method == "ds"`` only; None under ``"accu"``).
+        credibility: effective per-source credibility at convergence
+            (``"ds"`` only; None under ``"accu"``).
     """
 
     epoch: int
@@ -98,6 +102,8 @@ class EpochState:
     chosen: dict[int, int]
     detection: "DetectionResult | None"
     snapshot_id: int | None
+    conflict: dict[int, float] | None = None
+    credibility: tuple[float, ...] | None = None
 
     def explain(self, source_a: int, source_b: int) -> PairExplanation:
         """Item-by-item evidence between two sources, live from this epoch.
@@ -116,6 +122,8 @@ class EpochState:
             list(self.accuracies),
             self.params,
             result=self.detection,
+            credibility=self.credibility,
+            conflict=self.conflict,
         )
 
     def truth_of(self, item_id: int) -> tuple[int, float] | None:
@@ -236,6 +244,12 @@ class StreamEngine:
             chosen=dict(fusion.chosen),
             detection=detection,
             snapshot_id=snapshot_id,
+            conflict=fusion.final_conflict(),
+            credibility=(
+                tuple(fusion.credibility)
+                if fusion.credibility is not None
+                else None
+            ),
         )
         return EpochResult(
             epoch=self._epoch,
@@ -261,11 +275,22 @@ class StreamEngine:
         cfg = self.config
         if self.warm_start and self.state is not None:
             previous = list(self.state.accuracies)
-            grown = dataset.n_sources - len(previous)
-            cfg = replace(
-                cfg,
-                initial_accuracies=previous + [cfg.initial_accuracy] * grown,
-            )
+            if cfg.credibility is None:
+                pad = [cfg.initial_accuracy] * (dataset.n_sources - len(previous))
+            else:
+                # Sources that appeared mid-stream never saw the cold
+                # start, so their pad must honour the same credibility
+                # prior a cold run would apply — otherwise a grown DS
+                # epoch and a cold batch run over the accumulated claims
+                # would disagree on the newcomers' starting accuracies.
+                names = dataset.source_names
+                pad = [
+                    cfg.credibility.initial_accuracy_for(
+                        cfg.initial_accuracy, source_id=sid, name=names[sid]
+                    )
+                    for sid in range(len(previous), dataset.n_sources)
+                ]
+            cfg = replace(cfg, initial_accuracies=previous + pad)
 
         # A fresh detector per epoch: the claim deltas changed the
         # inverted index, and INCREMENTAL's bookkeeping positions are

@@ -117,6 +117,8 @@ def _explanation_json(explanation: "PairExplanation", top: int = 10) -> dict:
         "c_bwd": explanation.c_bwd,
         "n_shared_values": explanation.n_shared_values,
         "n_different": explanation.n_different,
+        "credibility_a": explanation.credibility_a,
+        "credibility_b": explanation.credibility_b,
         "top_evidence": [
             {
                 "item": ev.item,
@@ -125,6 +127,7 @@ def _explanation_json(explanation: "PairExplanation", top: int = 10) -> dict:
                 "shared": ev.shared,
                 "probability": ev.probability,
                 "c_fwd": ev.c_fwd,
+                "conflict": ev.conflict,
             }
             for ev in explanation.top_evidence(top)
         ],

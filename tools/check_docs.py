@@ -35,6 +35,7 @@ MARKDOWN = ["README.md", "ROADMAP.md", "docs"]
 #: Packages whose public surface must be fully docstringed.
 DOC_COVERAGE_PACKAGES = [
     "src/repro/cluster",
+    "src/repro/fusion",
     "src/repro/serving",
     "src/repro/streaming",
 ]
